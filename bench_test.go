@@ -1,0 +1,196 @@
+// Benchmarks regenerating every table of the paper's evaluation (§4) plus
+// the ablations DESIGN.md calls out. Each benchmark runs the corresponding
+// experiment driver and reports the paper's metric through ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the entire evaluation.
+//
+// The wall-clock ns/op of these benchmarks is meaningless (they simulate
+// 1993 hardware in virtual time); the custom metrics are the results.
+package ulp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ulp/internal/experiments"
+)
+
+// BenchmarkTable1 — impact of the user-level mechanisms on throughput:
+// maximum-sized Ethernet packets over the raw mechanisms, no transport
+// protocol, against standalone link saturation.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.StandaloneMbps, "standalone-Mb/s")
+		b.ReportMetric(r.MechanismMbps, "mechanisms-Mb/s")
+		b.ReportMetric(r.Percent, "%of-raw")
+	}
+}
+
+// BenchmarkTable2 — TCP throughput for every system, network, and user
+// packet size the paper reports.
+func BenchmarkTable2(b *testing.B) {
+	for _, sys := range experiments.Systems {
+		for _, net := range []experiments.NetSel{experiments.NetEthernet, experiments.NetAN1} {
+			if sys.Org == experiments.OrgMachUX && net == experiments.NetAN1 {
+				continue
+			}
+			for _, up := range experiments.UserPacketSizes {
+				name := fmt.Sprintf("%s/%v/%dB", sys.Label, net, up)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						c := experiments.Table2CellFor(sys.Org, sys.Label, net, up, experiments.Table2Config{})
+						if c.Err != nil {
+							b.Fatal(c.Err)
+						}
+						b.ReportMetric(c.Mbps, "Mb/s")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 — round-trip latency for 1/512/1460-byte exchanges.
+func BenchmarkTable3(b *testing.B) {
+	for _, sys := range experiments.Systems {
+		for _, net := range []experiments.NetSel{experiments.NetEthernet, experiments.NetAN1} {
+			if sys.Org == experiments.OrgMachUX && net == experiments.NetAN1 {
+				continue
+			}
+			for _, size := range experiments.LatencySizes {
+				name := fmt.Sprintf("%s/%v/%dB", sys.Label, net, size)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						c := experiments.Table3CellFor(sys.Org, sys.Label, net, size, nil)
+						if c.Err != nil {
+							b.Fatal(c.Err)
+						}
+						b.ReportMetric(float64(c.RTT.Microseconds())/1000, "RTT-ms")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 — connection setup cost per system and network.
+func BenchmarkTable4(b *testing.B) {
+	for _, sys := range experiments.Systems {
+		for _, net := range []experiments.NetSel{experiments.NetEthernet, experiments.NetAN1} {
+			if sys.Org == experiments.OrgMachUX && net == experiments.NetAN1 {
+				continue
+			}
+			name := fmt.Sprintf("%s/%v", sys.Label, net)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c := experiments.Table4CellFor(sys.Org, sys.Label, net, nil)
+					if c.Err != nil {
+						b.Fatal(c.Err)
+					}
+					b.ReportMetric(float64(c.Setup.Microseconds())/1000, "setup-ms")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 — hardware/software demultiplexing tradeoffs.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SoftwareDemux.Nanoseconds())/1000, "software-µs")
+		b.ReportMetric(float64(r.HardwareDemux.Nanoseconds())/1000, "hardware-µs")
+	}
+}
+
+// BenchmarkAblationBatching — batched vs per-packet notifications.
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBatching(nil)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(r.BatchedMbps, "batched-Mb/s")
+		b.ReportMetric(r.UnbatchedMbps, "unbatched-Mb/s")
+	}
+}
+
+// BenchmarkAblationAN1MTU — 1500-byte encapsulation vs 64 KB frames.
+func BenchmarkAblationAN1MTU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationAN1MTU(nil)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(r.Encap1500Mbps, "encap1500-Mb/s")
+		b.ReportMetric(r.Jumbo64KMbps, "jumbo64k-Mb/s")
+	}
+}
+
+// BenchmarkAblationFilter — CSPF vs BPF vs synthesized native demux.
+func BenchmarkAblationFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationFilter(nil)
+		b.ReportMetric(float64(r.CSPFTime.Nanoseconds())/1000, "cspf-µs")
+		b.ReportMetric(float64(r.BPFTime.Nanoseconds())/1000, "bpf-µs")
+		b.ReportMetric(float64(r.NativeTime.Nanoseconds())/1000, "native-µs")
+	}
+}
+
+// BenchmarkAblationAppSpecific — stock protocol vs NoDelay variant on a
+// two-write request/response workload (§5 "canned options").
+func BenchmarkAblationAppSpecific(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationAppSpecific(nil)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(float64(r.StockPerOp.Microseconds())/1000, "stock-ms/op")
+		b.ReportMetric(float64(r.NoDelayPerOp.Microseconds())/1000, "nodelay-ms/op")
+	}
+}
+
+// BenchmarkAblationZeroCopy — the buffer organization's small-packet win:
+// 512-byte user packets on the AN1, ours vs Ultrix (the Table 2 crossover).
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ours := experiments.Table2CellFor(experiments.OrgOurs, "ours", experiments.NetAN1, 512, experiments.Table2Config{})
+		ultrix := experiments.Table2CellFor(experiments.OrgUltrix, "ultrix", experiments.NetAN1, 512, experiments.Table2Config{})
+		if ours.Err != nil || ultrix.Err != nil {
+			b.Fatal(ours.Err, ultrix.Err)
+		}
+		b.ReportMetric(ours.Mbps, "ours-Mb/s")
+		b.ReportMetric(ultrix.Mbps, "ultrix-Mb/s")
+	}
+}
+
+// BenchmarkAblationChecksum — software checksum cost with 64 KB frames.
+func BenchmarkAblationChecksum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationChecksum(nil)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(r.WithMbps, "checksummed-Mb/s")
+		b.ReportMetric(r.WithoutMbps, "elided-Mb/s")
+	}
+}
+
+// BenchmarkAblationRPC — §5 registry bypass for connectionless traffic:
+// request-response latency via the server vs the bypassed direct path.
+func BenchmarkAblationRPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationRPC(nil)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		b.ReportMetric(float64(r.ViaServerPerOp.Microseconds())/1000, "via-server-ms/op")
+		b.ReportMetric(float64(r.BypassedPerOp.Microseconds())/1000, "bypassed-ms/op")
+	}
+}

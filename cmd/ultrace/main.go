@@ -1,0 +1,178 @@
+// Command ultrace runs a scenario under any protocol organization and
+// prints a tcpdump-style trace of every frame on the wire — link, IP and
+// TCP/UDP/ARP headers decoded — so the handshake choreography (including
+// the AN1 BQI exchange through the link header) can be read directly.
+//
+// Usage:
+//
+//	ultrace                      # userlib on Ethernet, echo scenario
+//	ultrace -org inkernel -net an1
+//	ultrace -loss 0.1            # watch retransmission machinery engage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ulp"
+	"ulp/internal/arp"
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/pkt"
+	"ulp/internal/stacks"
+	"ulp/internal/tcp"
+	"ulp/internal/udp"
+	"ulp/internal/wire"
+)
+
+func main() {
+	orgName := flag.String("org", "userlib", "organization: userlib | inkernel | singleserver")
+	netName := flag.String("net", "ethernet", "network: ethernet | an1 | an1-64k")
+	loss := flag.Float64("loss", 0, "wire loss probability")
+	bytes := flag.Int("bytes", 3000, "payload bytes to echo")
+	flag.Parse()
+
+	cfg := ulp.Config{}
+	switch *orgName {
+	case "userlib":
+		cfg.Org = ulp.OrgUserLib
+	case "inkernel":
+		cfg.Org = ulp.OrgInKernel
+	case "singleserver":
+		cfg.Org = ulp.OrgSingleServer
+	default:
+		fmt.Println("unknown organization", *orgName)
+		return
+	}
+	switch *netName {
+	case "ethernet":
+		cfg.Net = ulp.Ethernet
+	case "an1":
+		cfg.Net = ulp.AN1
+	case "an1-64k":
+		cfg.Net = ulp.AN1Jumbo
+	default:
+		fmt.Println("unknown network", *netName)
+		return
+	}
+	if *loss > 0 {
+		cfg.Faults = &wire.Faults{Seed: 1, LossProb: *loss}
+	}
+
+	w := ulp.NewWorld(cfg)
+	an1 := cfg.Net != ulp.Ethernet
+	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
+		fmt.Printf("%12v  %s\n", at, renderFrame(frame, an1))
+	})
+
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	done := false
+	srv.Go("srv", func(t *kern.Thread) {
+		l, err := srv.Stack.Listen(t, 80, stacks.Options{})
+		if err != nil {
+			return
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 65536)
+		for {
+			n, _ := c.Read(t, buf)
+			if n == 0 {
+				c.Close(t)
+				return
+			}
+			c.Write(t, buf[:n])
+		}
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(t *kern.Thread) {
+		c, err := cli.Stack.Connect(t, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			fmt.Println("connect:", err)
+			done = true
+			return
+		}
+		payload := make([]byte, *bytes)
+		c.Write(t, payload)
+		got := 0
+		buf := make([]byte, 65536)
+		for got < *bytes {
+			n, _ := c.Read(t, buf)
+			got += n
+		}
+		c.Close(t)
+		done = true
+	})
+	w.RunUntil(5*time.Minute, func() bool { return done })
+	w.Run(100 * time.Millisecond) // drain the close exchange
+}
+
+// renderFrame decodes one frame for display.
+func renderFrame(b *pkt.Buf, an1 bool) string {
+	f := b.Clone()
+	var et link.EtherType
+	prefix := ""
+	if an1 {
+		h, err := link.DecodeAN1(f)
+		if err != nil {
+			return "malformed AN1 frame"
+		}
+		et = h.Type
+		prefix = fmt.Sprintf("%v > %v bqi=%d", h.Src, h.Dst, h.BQI)
+		if h.AdvBQI != 0 {
+			prefix += fmt.Sprintf(" adv-bqi=%d", h.AdvBQI)
+		}
+	} else {
+		h, err := link.DecodeEth(f)
+		if err != nil {
+			return "malformed Ethernet frame"
+		}
+		et = h.Type
+		prefix = fmt.Sprintf("%v > %v", h.Src, h.Dst)
+	}
+	switch et {
+	case link.TypeARP:
+		p, err := arp.Decode(f)
+		if err != nil {
+			return prefix + " malformed ARP"
+		}
+		if p.Op == arp.OpRequest {
+			return fmt.Sprintf("%s ARP who-has %v tell %v", prefix, p.TargetIP, p.SenderIP)
+		}
+		return fmt.Sprintf("%s ARP reply %v is-at %v", prefix, p.SenderIP, p.SenderHW)
+	case link.TypeIPv4:
+		ih, err := ipv4.Decode(f)
+		if err != nil {
+			return prefix + " malformed IP"
+		}
+		switch ih.Proto {
+		case ipv4.ProtoTCP:
+			th, err := tcp.Decode(f, ih.Src, ih.Dst)
+			if err != nil {
+				return fmt.Sprintf("%s %v > %v TCP [bad checksum]", prefix, ih.Src, ih.Dst)
+			}
+			extra := ""
+			if th.MSS != 0 {
+				extra = fmt.Sprintf(" mss=%d", th.MSS)
+			}
+			if n := f.Len(); n > 0 {
+				extra += fmt.Sprintf(" len=%d", n)
+			}
+			return fmt.Sprintf("%s %v:%d > %v:%d %s%s", prefix, ih.Src, th.SrcPort, ih.Dst, th.DstPort, th, extra)
+		case ipv4.ProtoUDP:
+			uh, err := udp.Decode(f, ih.Src, ih.Dst)
+			if err != nil {
+				return fmt.Sprintf("%s %v > %v UDP [bad checksum]", prefix, ih.Src, ih.Dst)
+			}
+			return fmt.Sprintf("%s %v:%d > %v:%d UDP len=%d", prefix, ih.Src, uh.SrcPort, ih.Dst, uh.DstPort, f.Len())
+		}
+		return fmt.Sprintf("%s %s", prefix, ih)
+	case link.TypeRaw:
+		return fmt.Sprintf("%s RAW len=%d", prefix, f.Len())
+	}
+	return fmt.Sprintf("%s ethertype %#04x len=%d", prefix, uint16(et), f.Len())
+}

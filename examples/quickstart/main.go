@@ -1,0 +1,95 @@
+// Quickstart: build a two-workstation world running the paper's user-level
+// protocol library organization, establish a TCP connection through the
+// registry server, exchange data over the shared-memory channels, and print
+// what happened — including the protection and demultiplexing machinery
+// working underneath.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ulp"
+	"ulp/internal/kern"
+	"ulp/internal/stacks"
+)
+
+func main() {
+	// Two DECstation-class hosts on a 10 Mb/s Ethernet, each running a
+	// registry server and the in-kernel network I/O module.
+	w := ulp.NewWorld(ulp.Config{Org: ulp.OrgUserLib, Net: ulp.Ethernet})
+
+	server := w.Node(0).App("server")
+	client := w.Node(1).App("client")
+
+	done := false
+
+	// The server application links the protocol library, asks its registry
+	// to listen, and echoes one round.
+	server.Go("server", func(t *kern.Thread) {
+		l, err := server.Stack.Listen(t, 7, stacks.Options{})
+		if err != nil {
+			fmt.Println("listen:", err)
+			return
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			fmt.Println("accept:", err)
+			return
+		}
+		fmt.Printf("[%8v] server: accepted connection, state %v\n", w.Now(), c.State())
+		buf := make([]byte, 256)
+		for {
+			n, err := c.Read(t, buf)
+			if err != nil || n == 0 {
+				c.Close(t)
+				return
+			}
+			fmt.Printf("[%8v] server: echoing %q\n", w.Now(), buf[:n])
+			c.Write(t, buf[:n])
+		}
+	})
+
+	// The client connects — the registry performs the three-way handshake,
+	// sets up the shared channel and capability, then hands the live
+	// connection to the library. Data then bypasses the server entirely.
+	client.GoAfter(time.Millisecond, "client", func(t *kern.Thread) {
+		start := w.Now()
+		c, err := client.Stack.Connect(t, w.Endpoint(0, 7), stacks.Options{})
+		if err != nil {
+			fmt.Println("connect:", err)
+			done = true
+			return
+		}
+		fmt.Printf("[%8v] client: connected in %v (registry handshake + channel setup + state transfer)\n",
+			w.Now(), w.Now()-start)
+
+		for _, msg := range []string{"hello, user-level TCP", "the registry is bypassed now"} {
+			c.Write(t, []byte(msg))
+			buf := make([]byte, 256)
+			total := 0
+			for total < len(msg) {
+				n, _ := c.Read(t, buf[total:len(msg)])
+				total += n
+			}
+			fmt.Printf("[%8v] client: echo %q\n", w.Now(), buf[:total])
+		}
+		st := c.Stats()
+		fmt.Printf("[%8v] client: closing; %d segments sent, %d received, %d timer ops\n",
+			w.Now(), st.SegsSent, st.SegsRcvd, st.TimerOps)
+		c.Close(t)
+		done = true
+	})
+
+	w.RunUntil(time.Minute, func() bool { return done })
+
+	fmt.Println()
+	fmt.Println("network I/O module counters:")
+	for i := 0; i < w.Nodes(); i++ {
+		m := w.Node(i).Mod
+		fmt.Printf("  host %d: %d sends verified against templates, %d rejected; demux: %d to channels, %d to kernel default\n",
+			i, m.SendOK, m.SendRejected, m.DemuxMatched, m.DemuxDefault)
+	}
+}

@@ -1,0 +1,3 @@
+module ulp
+
+go 1.22

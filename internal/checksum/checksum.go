@@ -1,0 +1,61 @@
+// Package checksum implements the Internet checksum (RFC 1071): the 16-bit
+// ones-complement of the ones-complement sum of the data, with support for
+// incremental composition across regions (headers, pseudo-headers, payload).
+package checksum
+
+// Sum accumulates the ones-complement sum of b into the running partial sum
+// acc. The partial sum is kept un-folded in a uint32; combine regions by
+// chaining Sum calls and finish with Fold.
+//
+// Regions must be concatenated on even-byte boundaries for straight
+// chaining, which holds for all uses in this stack (headers are even-sized).
+func Sum(acc uint32, b []byte) uint32 {
+	i := 0
+	for ; i+1 < len(b); i += 2 {
+		acc += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < len(b) {
+		acc += uint32(b[i]) << 8
+	}
+	return acc
+}
+
+// Fold reduces a partial sum to the final 16-bit ones-complement checksum.
+func Fold(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// Checksum computes the checksum of a single region.
+func Checksum(b []byte) uint16 { return Fold(Sum(0, b)) }
+
+// Verify reports whether a region that embeds its own checksum field sums to
+// the all-ones pattern (i.e. checksums to zero), the standard receive check.
+func Verify(b []byte) bool { return Fold(Sum(0, b)) == 0 }
+
+// PseudoHeader accumulates the TCP/UDP pseudo-header (RFC 793 §3.1): source
+// and destination IPv4 addresses, the protocol number, and the transport
+// segment length.
+func PseudoHeader(acc uint32, src, dst [4]byte, proto uint8, length int) uint32 {
+	acc += uint32(src[0])<<8 | uint32(src[1])
+	acc += uint32(src[2])<<8 | uint32(src[3])
+	acc += uint32(dst[0])<<8 | uint32(dst[1])
+	acc += uint32(dst[2])<<8 | uint32(dst[3])
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}
+
+// Update incrementally adjusts an existing checksum old for a 16-bit field
+// change from oldVal to newVal (RFC 1624 eqn. 3), avoiding recomputation.
+// Used when rewriting single header fields (e.g. TTL+checksum updates).
+func Update(old uint16, oldVal, newVal uint16) uint16 {
+	// HC' = ~(~HC + ~m + m')
+	acc := uint32(^old&0xffff) + uint32(^oldVal&0xffff) + uint32(newVal)
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}

@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: the user-level
+// protocol library. TCP, IP and (implicitly, via setup-time resolution) ARP
+// functionality is linked into the application's address space. The library
+//
+//   - asks the registry server to allocate end-points and complete the
+//     three-way handshake, then receives the established connection's TCP
+//     state, a send capability, and a shared-memory channel;
+//   - thereafter runs the entire data path itself: "the server is bypassed
+//     in the common path of data transmission and reception";
+//   - is multithreaded: a per-connection input thread is upcalled from the
+//     channel's lightweight semaphore ("protocol control block lookups are
+//     eliminated by having separate threads per connection"), and fast/slow
+//     timer threads drive the BSD tick machinery;
+//   - moves user data through the shared region, avoiding per-byte copies
+//     on the send path ("a buffer organization that eliminates byte
+//     copying");
+//   - on exit hands open connections back to the registry, which preserves
+//     TIME_WAIT semantics or resets the peer on abnormal termination.
+package core
+
+import (
+	"time"
+
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netio"
+	"ulp/internal/pkt"
+	"ulp/internal/registry"
+	"ulp/internal/sim"
+	"ulp/internal/stacks"
+	"ulp/internal/tcp"
+)
+
+// Library is one application's protocol library instance.
+type Library struct {
+	s    *sim.Sim
+	host *kern.Host
+	app  *kern.Domain
+	reg  *registry.Server
+	mod  *netio.Module
+
+	conns map[*Conn]struct{}
+	ids   ipv4.IDGen
+}
+
+// NewLibrary links the protocol library into an application domain.
+func NewLibrary(s *sim.Sim, app *kern.Domain, reg *registry.Server) *Library {
+	l := &Library{
+		s:     s,
+		host:  app.Host,
+		app:   app,
+		reg:   reg,
+		mod:   reg.Netif().Mod,
+		conns: make(map[*Conn]struct{}),
+	}
+	app.Spawn("lib-fast", l.fastTimer)
+	app.Spawn("lib-slow", l.slowTimer)
+	return l
+}
+
+// Name identifies the organization.
+func (l *Library) Name() string { return "userlib" }
+
+// Host returns the host the library runs on.
+func (l *Library) Host() *kern.Host { return l.host }
+
+// Conn is a library-owned connection: the engine, its channel, capability,
+// and the framing parameters negotiated at setup.
+type Conn struct {
+	lib  *Library
+	sock *stacks.Sock
+	tc   *tcp.Conn
+	cap  *netio.Capability
+	ch   *netio.Channel
+	opts stacks.Options
+
+	peerHW  link.Addr
+	peerBQI uint16
+
+	cur  *kern.Thread
+	lock *sim.Semaphore
+	done bool
+}
+
+// Connect implements the stacks.Stack interface: active open via the
+// registry, then adopt the established connection.
+func (l *Library) Connect(t *kern.Thread, remote tcp.Endpoint, opts stacks.Options) (stacks.Conn, error) {
+	t.Compute(t.Cost().ProcCall)
+	reply := l.reg.Svc.Call(t, kern.Msg{Op: "connect", Body: registry.ConnectReq{Remote: remote, Opts: opts}})
+	ho, ok := reply.Body.(registry.Handoff)
+	if !ok {
+		return nil, stacks.ErrClosed
+	}
+	if ho.Err != nil {
+		return nil, ho.Err
+	}
+	return l.adopt(t, ho, opts), nil
+}
+
+// Listener is the library side of a passive open.
+type Listener struct {
+	lib    *Library
+	port   uint16
+	opts   stacks.Options
+	accept *kern.Port
+}
+
+// Listen implements stacks.Stack.
+func (l *Library) Listen(t *kern.Thread, port uint16, opts stacks.Options) (stacks.Listener, error) {
+	t.Compute(t.Cost().ProcCall)
+	acceptPort := kern.NewPort(l.host, "accept")
+	reply := l.reg.Svc.Call(t, kern.Msg{Op: "listen", Body: registry.ListenReq{Port: port, Opts: opts, AcceptPort: acceptPort}})
+	if err, _ := reply.Body.(error); err != nil {
+		return nil, err
+	}
+	return &Listener{lib: l, port: port, opts: opts, accept: acceptPort}, nil
+}
+
+// Accept blocks for the next established connection handed off by the
+// registry.
+func (ln *Listener) Accept(t *kern.Thread) (stacks.Conn, error) {
+	m := ln.accept.Receive(t)
+	t.Compute(t.Cost().ContextSwitch) // handoff message receipt
+	ho := m.Body.(registry.Handoff)
+	if ho.Err != nil {
+		return nil, ho.Err
+	}
+	return ln.lib.adopt(t, ho, ln.opts), nil
+}
+
+// Close stops listening.
+func (ln *Listener) Close(t *kern.Thread) {
+	t.Compute(t.Cost().ProcCall)
+	ln.lib.reg.Svc.Call(t, kern.Msg{Op: "unlisten", Body: registry.UnlistenReq{Port: ln.port}})
+}
+
+// adopt turns a registry handoff into a live library connection.
+func (l *Library) adopt(t *kern.Thread, ho registry.Handoff, opts stacks.Options) *Conn {
+	c := &Conn{
+		lib:     l,
+		cap:     ho.Cap,
+		ch:      ho.Channel,
+		opts:    opts,
+		peerHW:  ho.PeerHW,
+		peerBQI: ho.PeerBQI,
+		lock:    l.s.NewSemaphore("conn-engine", 1),
+	}
+	tc := tcp.Restore(ho.Snap, tcp.Callbacks{})
+	c.tc = tc
+	sock := stacks.NewSock(l.s, tc)
+	cost := &l.host.Cost
+	sock.Entry = func(t *kern.Thread) { t.Compute(cost.ProcCall) }
+	sock.Run = c.runEngine
+	// Send-side data enters the shared region without a per-byte copy.
+	sock.WriteMove = func(t *kern.Thread, n int) { t.Compute(cost.SockbufOp) }
+	sock.ReadMove = func(t *kern.Thread, n int) { t.Compute(cost.Copy(n) + cost.SockbufOp) }
+	c.sock = sock
+
+	cb := sock.Callbacks(func(seg *stacks.Seg) { c.transmit(seg) })
+	innerClosed := cb.OnClosed
+	cb.OnClosed = func(err error) {
+		innerClosed(err)
+		c.teardown()
+	}
+	tc.SetCallbacks(cb)
+	sock.MarkEstablished()
+
+	l.conns[c] = struct{}{}
+	l.app.Spawn("conn-input", c.inputThread)
+	return c
+}
+
+// transmit is the library's data-path output: protocol processing in the
+// calling thread, headers built in the shared region, then the specialized
+// kernel entry with the send capability.
+func (c *Conn) transmit(seg *stacks.Seg) {
+	t := c.cur
+	if t == nil {
+		panic("core: engine transmit outside runEngine")
+	}
+	t.Compute(stacks.SegCost(c.lib.host, seg.PayloadLen, c.opts.NoChecksum))
+	ih := ipv4.Header{
+		ID: c.lib.ids.Next(), DF: true, TTL: 64,
+		Proto: ipv4.ProtoTCP, Src: c.tc.Local().IP, Dst: c.tc.Peer().IP,
+	}
+	ih.Encode(seg.Buf)
+	if c.lib.reg.Netif().IsAN1() {
+		lh := link.AN1Header{Dst: c.peerHW, Src: c.lib.reg.Netif().HW, BQI: c.peerBQI, Type: link.TypeIPv4}
+		lh.Encode(seg.Buf)
+	} else {
+		lh := link.EthHeader{Dst: c.peerHW, Src: c.lib.reg.Netif().HW, Type: link.TypeIPv4}
+		lh.Encode(seg.Buf)
+	}
+	// Template violations cannot happen from this code path; a buggy or
+	// malicious library would be stopped here by the kernel.
+	_ = c.lib.mod.Send(t, c.cap, seg.Buf)
+}
+
+// inputThread is the per-connection upcalled thread: it waits on the
+// channel's lightweight semaphore and feeds batches to the engine.
+func (c *Conn) inputThread(t *kern.Thread) {
+	cost := &c.lib.host.Cost
+	for !c.done {
+		batch := c.ch.Wait(t)
+		if len(batch) == 0 {
+			continue // poked for shutdown or spurious wakeup
+		}
+		for _, b := range batch {
+			c.inputFrame(t, b)
+		}
+		if c.sock.ReadableWaiters() > 0 {
+			// Hand off to the blocked application thread.
+			t.Compute(cost.ThreadSwitch)
+		}
+	}
+}
+
+// inputFrame processes one frame from the shared region.
+func (c *Conn) inputFrame(t *kern.Thread, b *pkt.Buf) {
+	var et link.EtherType
+	if c.lib.reg.Netif().IsAN1() {
+		h, err := link.DecodeAN1(b)
+		if err != nil {
+			return
+		}
+		et = h.Type
+	} else {
+		h, err := link.DecodeEth(b)
+		if err != nil {
+			return
+		}
+		et = h.Type
+	}
+	if et != link.TypeIPv4 {
+		return
+	}
+	ih, err := ipv4.Decode(b)
+	if err != nil || ih.Proto != ipv4.ProtoTCP || ih.Dst != c.tc.Local().IP {
+		return
+	}
+	th, err := tcp.Decode(b, ih.Src, ih.Dst)
+	if err != nil {
+		return // checksum failure: drop, retransmission recovers
+	}
+	t.Compute(stacks.SegCost(c.lib.host, b.Len(), c.opts.NoChecksum))
+	c.runEngine(t, func() { c.tc.Input(th, b.Bytes()) })
+}
+
+func (c *Conn) runEngine(t *kern.Thread, fn func()) {
+	c.lock.P(t.Proc)
+	c.cur = t
+	fn()
+	c.cur = nil
+	c.lock.V()
+}
+
+// teardown releases registry-held resources once the engine fully closes.
+func (c *Conn) teardown() {
+	c.done = true
+	c.ch.Poke()
+	delete(c.lib.conns, c)
+	c.lib.reg.Svc.SendAsync(kern.Msg{Op: "teardown", Body: registry.TeardownReq{
+		Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
+	}})
+}
+
+// Read implements stacks.Conn.
+func (c *Conn) Read(t *kern.Thread, p []byte) (int, error) { return c.sock.Read(t, p) }
+
+// Write implements stacks.Conn.
+func (c *Conn) Write(t *kern.Thread, p []byte) (int, error) {
+	return c.sock.Write(t, p)
+}
+
+// Close implements stacks.Conn: the orderly release runs entirely in the
+// library ("under normal operation, connection shutdown is done by the
+// protocol library").
+func (c *Conn) Close(t *kern.Thread) error {
+	c.runEngineFrom(t, func() { c.tc.Close() })
+	return nil
+}
+
+// runEngineFrom charges the socket-call entry then runs the engine.
+func (c *Conn) runEngineFrom(t *kern.Thread, fn func()) {
+	t.Compute(t.Cost().ProcCall)
+	c.runEngine(t, fn)
+}
+
+// Stats implements stacks.Conn.
+func (c *Conn) Stats() tcp.Stats { return c.tc.Stats() }
+
+// State implements stacks.Conn.
+func (c *Conn) State() tcp.State { return c.tc.State() }
+
+// Channel exposes the netio channel (experiments measure batching).
+func (c *Conn) Channel() *netio.Channel { return c.ch }
+
+// Exit hands every open connection back to the registry. With abnormal set
+// the registry resets the peers; otherwise it shepherds the orderly-close
+// states (including TIME_WAIT) on the application's behalf.
+func (l *Library) Exit(t *kern.Thread, abnormal bool) {
+	for c := range l.conns {
+		c.done = true
+		c.ch.Poke()
+		delete(l.conns, c)
+		snap := c.tc.Snapshot()
+		c.tc.SetCallbacks(tcp.Callbacks{}) // detach: the registry owns it now
+		l.reg.Svc.Send(t, kern.Msg{
+			Op:   "inherit",
+			Size: snap.Size(),
+			Body: registry.InheritReq{
+				Snap: snap, Cap: c.cap, Abort: abnormal,
+				PeerHW: c.peerHW, PeerBQI: c.peerBQI,
+			},
+		})
+	}
+}
+
+// fastTimer drives delayed ACKs for all library connections.
+func (l *Library) fastTimer(t *kern.Thread) {
+	cost := &l.host.Cost
+	for {
+		t.Sleep(200 * time.Millisecond)
+		for c := range l.conns {
+			t.Compute(cost.TimerOp)
+			c.runEngine(t, func() { c.tc.FastTick() })
+		}
+	}
+}
+
+// slowTimer drives the 500 ms protocol timers.
+func (l *Library) slowTimer(t *kern.Thread) {
+	cost := &l.host.Cost
+	for {
+		t.Sleep(500 * time.Millisecond)
+		for c := range l.conns {
+			t.Compute(cost.TimerOp)
+			c.runEngine(t, func() { c.tc.SlowTick() })
+		}
+	}
+}

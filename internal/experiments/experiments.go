@@ -1,0 +1,244 @@
+// Package experiments reproduces the paper's evaluation (§4): one driver
+// per table, each building a fresh two-workstation world and measuring the
+// same quantity the paper reports. cmd/ulbench renders them as text tables;
+// bench_test.go wraps them as Go benchmarks. EXPERIMENTS.md records
+// paper-versus-simulated values.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ulp/internal/kern"
+	"ulp/internal/stacks"
+)
+
+// Mbps converts a payload byte count over a duration to megabits/second.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// System identifies a measured configuration in paper terms.
+type System struct {
+	Label string // "Ultrix 4.2A", "Mach 3.0/UX (mapped)", "Our (Mach) Implementation"
+	Org   OrgSel
+}
+
+// OrgSel mirrors ulp.Org without importing the root package (which imports
+// nothing from here; the root facade is for applications, the experiments
+// build worlds directly).
+type OrgSel int
+
+// Organizations under their paper names.
+const (
+	OrgUltrix OrgSel = iota
+	OrgMachUX
+	OrgOurs
+)
+
+// Systems under measurement, in the paper's presentation order.
+var Systems = []System{
+	{Label: "Ultrix 4.2A", Org: OrgUltrix},
+	{Label: "Mach 3.0/UX (mapped)", Org: OrgMachUX},
+	{Label: "Our (Mach) Implementation", Org: OrgOurs},
+}
+
+// NetSel mirrors the network choice.
+type NetSel int
+
+// Networks.
+const (
+	NetEthernet NetSel = iota
+	NetAN1
+	NetAN1Jumbo
+)
+
+func (n NetSel) String() string {
+	switch n {
+	case NetEthernet:
+		return "Ethernet"
+	case NetAN1:
+		return "DEC SRC AN1"
+	case NetAN1Jumbo:
+		return "DEC SRC AN1 (64K frames)"
+	}
+	return "?"
+}
+
+// bulkSend drives a one-way bulk transfer of total bytes written in
+// userPacket-sized application writes from the client app to a sink server,
+// returning achieved goodput measured at the receiver between the first and
+// last payload byte (excluding connection setup, as the paper does).
+func bulkSend(w *world, total, userPacket int, opts stacks.Options, budget time.Duration) (float64, error) {
+	srv := w.app(0, "server")
+	cli := w.app(1, "client")
+	var firstByte, lastByte time.Duration
+	received := 0
+	done := false
+	var failure error
+
+	// Steady-state measurement: the first warmup bytes (slow start and the
+	// initial delayed-ACK stall) are excluded from the timed span, as a
+	// long-running testbed measurement would exclude them.
+	const warmup = 32 << 10
+
+	srv.Go("srv", func(th *kern.Thread) {
+		l, err := srv.Stack.Listen(th, 80, opts)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		c, err := l.Accept(th)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		buf := make([]byte, 65536)
+		for received < total {
+			n, err := c.Read(th, buf)
+			if err != nil {
+				failure = err
+				done = true
+				return
+			}
+			if n == 0 {
+				break
+			}
+			received += n
+			if received <= warmup {
+				firstByte = time.Duration(th.Now())
+			}
+			lastByte = time.Duration(th.Now())
+		}
+		done = true
+	})
+
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.endpoint(0, 80), opts)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		data := make([]byte, userPacket)
+		sent := 0
+		for sent < total {
+			n := userPacket
+			if sent+n > total {
+				n = total - sent
+			}
+			if _, err := c.Write(th, data[:n]); err != nil {
+				failure = err
+				done = true
+				return
+			}
+			sent += n
+		}
+	})
+
+	w.runUntil(budget, func() bool { return done })
+	if failure != nil {
+		return 0, failure
+	}
+	if !done || received < total {
+		return 0, fmt.Errorf("experiments: transfer incomplete (%d/%d bytes)", received, total)
+	}
+	span := lastByte - firstByte
+	return Mbps(int64(received-warmup), span), nil
+}
+
+// pingPong measures average round-trip time for size-byte exchanges after a
+// warmup, as Table 3 does ("the first application sends data to the second,
+// which in turn sends the same amount of data back").
+func pingPong(w *world, size, iters int, opts stacks.Options, budget time.Duration) (time.Duration, error) {
+	srv := w.app(0, "server")
+	cli := w.app(1, "client")
+	var avg time.Duration
+	done := false
+	var failure error
+
+	srv.Go("srv", func(th *kern.Thread) {
+		l, err := srv.Stack.Listen(th, 80, opts)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		c, err := l.Accept(th)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		buf := make([]byte, 65536)
+		for {
+			got := 0
+			for got < size {
+				n, err := c.Read(th, buf[got:size])
+				if err != nil || n == 0 {
+					return
+				}
+				got += n
+			}
+			if _, err := c.Write(th, buf[:size]); err != nil {
+				return
+			}
+		}
+	})
+
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.endpoint(0, 80), opts)
+		if err != nil {
+			failure = err
+			done = true
+			return
+		}
+		buf := make([]byte, 65536)
+		exchange := func() bool {
+			if _, err := c.Write(th, buf[:size]); err != nil {
+				failure = err
+				return false
+			}
+			got := 0
+			for got < size {
+				n, err := c.Read(th, buf[got:size])
+				if err != nil {
+					failure = err
+					return false
+				}
+				got += n
+			}
+			return true
+		}
+		const warmup = 4
+		for i := 0; i < warmup; i++ {
+			if !exchange() {
+				done = true
+				return
+			}
+		}
+		start := time.Duration(th.Now())
+		for i := 0; i < iters; i++ {
+			if !exchange() {
+				done = true
+				return
+			}
+		}
+		avg = (time.Duration(th.Now()) - start) / time.Duration(iters)
+		done = true
+	})
+
+	w.runUntil(budget, func() bool { return done })
+	if failure != nil {
+		return 0, failure
+	}
+	if !done {
+		return 0, fmt.Errorf("experiments: ping-pong incomplete")
+	}
+	return avg, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"time"
+
+	"ulp"
+	"ulp/internal/costs"
+	"ulp/internal/kern"
+	"ulp/internal/tcp"
+)
+
+// world adapts the public facade for the experiment drivers.
+type world struct {
+	w *ulp.World
+}
+
+// newWorld builds a two-host world for a system/network pair. A nil model
+// uses the calibrated default.
+func newWorld(org OrgSel, net NetSel, model *costs.Model) *world {
+	cfg := ulp.Config{Costs: model}
+	switch org {
+	case OrgUltrix:
+		cfg.Org = ulp.OrgInKernel
+	case OrgMachUX:
+		cfg.Org = ulp.OrgSingleServer
+	case OrgOurs:
+		cfg.Org = ulp.OrgUserLib
+	}
+	switch net {
+	case NetEthernet:
+		cfg.Net = ulp.Ethernet
+	case NetAN1:
+		cfg.Net = ulp.AN1
+	case NetAN1Jumbo:
+		cfg.Net = ulp.AN1Jumbo
+	}
+	return &world{w: ulp.NewWorld(cfg)}
+}
+
+func (w *world) app(node int, name string) *ulp.App { return w.w.Node(node).App(name) }
+
+func (w *world) endpoint(node int, port uint16) tcp.Endpoint { return w.w.Endpoint(node, port) }
+
+func (w *world) runUntil(budget time.Duration, pred func() bool) {
+	w.w.RunUntil(budget, pred)
+}
+
+func (w *world) run(budget time.Duration) { w.w.Run(budget) }
+
+func (w *world) node(i int) *ulpNode { return w.w.Node(i) }
+
+// ulpNode aliases the facade's node type for the drivers.
+type ulpNode = ulp.Node
+
+func (w *world) now() time.Duration { return w.w.Now() }
+
+// spawnKernelThread runs fn in a fresh privileged domain on node i (the
+// mechanism micro-benchmarks drive devices directly).
+func (w *world) spawnKernelThread(i int, name string, fn func(t *kern.Thread)) {
+	w.w.Node(i).Host.NewDomain(name+"-dom", true).Spawn(name, fn)
+}

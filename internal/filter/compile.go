@@ -1,0 +1,160 @@
+package filter
+
+import "encoding/binary"
+
+// Spec describes one endpoint's input demultiplexing predicate over an
+// incoming link frame carrying IPv4: protocol, local (destination) address
+// and port, and — for connected endpoints — remote (source) address and
+// port. Zero remote fields are wildcards, as for a listening socket.
+//
+// The registry server constructs a Spec per endpoint at connection-setup
+// time and installs it with the network I/O module, which demultiplexes
+// with direct native code ("the demultiplexing logic requires only a few
+// instructions", synthesized into the kernel); the CSPF and BPF compilers
+// exist to reproduce the paper's interpreter-architecture comparison.
+type Spec struct {
+	// LinkHdrLen is the link header size in bytes (14 Ethernet, 16 AN1).
+	LinkHdrLen int
+	// Proto is the IPv4 protocol number (6 TCP, 17 UDP).
+	Proto uint8
+	// LocalIP and LocalPort are the endpoint's own address (packet
+	// destination fields).
+	LocalIP   [4]byte
+	LocalPort uint16
+	// RemoteIP and RemotePort constrain the packet source; zero values are
+	// wildcards.
+	RemoteIP   [4]byte
+	RemotePort uint16
+}
+
+// Match is the native demultiplexing predicate: the direct-execution code
+// the kernel synthesizes. It handles variable IP header lengths and skips
+// non-first fragments (whose transport ports are absent).
+func (s Spec) Match(frame []byte) bool {
+	l := s.LinkHdrLen
+	if len(frame) < l+20 {
+		return false
+	}
+	if binary.BigEndian.Uint16(frame[l-2:]) != 0x0800 {
+		return false
+	}
+	ip := frame[l:]
+	if ip[0]>>4 != 4 {
+		return false
+	}
+	if ip[9] != s.Proto {
+		return false
+	}
+	if [4]byte(ip[16:20]) != s.LocalIP {
+		return false
+	}
+	if s.RemoteIP != ([4]byte{}) && [4]byte(ip[12:16]) != s.RemoteIP {
+		return false
+	}
+	if binary.BigEndian.Uint16(ip[6:])&0x1fff != 0 {
+		return false // non-first fragment: no transport header
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl+4 {
+		return false
+	}
+	srcPort := binary.BigEndian.Uint16(ip[ihl:])
+	dstPort := binary.BigEndian.Uint16(ip[ihl+2:])
+	if dstPort != s.LocalPort {
+		return false
+	}
+	if s.RemotePort != 0 && srcPort != s.RemotePort {
+		return false
+	}
+	return true
+}
+
+// CompileBPF emits the register-machine form of the predicate, using the
+// classic LdxMSH idiom to handle variable IP header lengths.
+func (s Spec) CompileBPF() BPFProgram {
+	l := uint32(s.LinkHdrLen)
+	var p BPFProgram
+	emit := func(in BPFInstr) { p = append(p, in) }
+	// Each test either falls through (match) or jumps to the final reject.
+	// Jump offsets are patched at the end.
+	type patch struct{ idx int }
+	var rejects []patch
+	test := func(in BPFInstr, cmp BPFInstr) {
+		emit(in)
+		rejects = append(rejects, patch{len(p)})
+		emit(cmp) // Jf patched to reject
+	}
+	test(BPFInstr{Op: BPFLdH, K: l - 2}, BPFInstr{Op: BPFJEq, K: 0x0800})
+	test(BPFInstr{Op: BPFLdB, K: l + 9}, BPFInstr{Op: BPFJEq, K: uint32(s.Proto)})
+	test(BPFInstr{Op: BPFLdW, K: l + 16}, BPFInstr{Op: BPFJEq, K: binary.BigEndian.Uint32(s.LocalIP[:])})
+	if s.RemoteIP != ([4]byte{}) {
+		test(BPFInstr{Op: BPFLdW, K: l + 12}, BPFInstr{Op: BPFJEq, K: binary.BigEndian.Uint32(s.RemoteIP[:])})
+	}
+	// Reject fragments with nonzero offset: JSet jumps to reject on match,
+	// so emit it inverted.
+	emit(BPFInstr{Op: BPFLdH, K: l + 6})
+	fragIdx := len(p)
+	emit(BPFInstr{Op: BPFJSet, K: 0x1fff}) // Jt patched to reject
+	emit(BPFInstr{Op: BPFLdxMSH, K: l})
+	test(BPFInstr{Op: BPFLdHI, K: l + 2}, BPFInstr{Op: BPFJEq, K: uint32(s.LocalPort)})
+	if s.RemotePort != 0 {
+		test(BPFInstr{Op: BPFLdHI, K: l}, BPFInstr{Op: BPFJEq, K: uint32(s.RemotePort)})
+	}
+	acceptIdx := len(p)
+	emit(BPFInstr{Op: BPFRet, K: 1})
+	rejectIdx := len(p)
+	emit(BPFInstr{Op: BPFRet, K: 0})
+	_ = acceptIdx
+	for _, pt := range rejects {
+		p[pt.idx].Jf = uint8(rejectIdx - pt.idx - 1)
+	}
+	p[fragIdx].Jt = uint8(rejectIdx - fragIdx - 1)
+	return p
+}
+
+// CompileCSPF emits the stack-machine form. CSPF has no indexed loads, so —
+// like the historical filters — it assumes the standard 20-byte IP header
+// and cannot demultiplex packets carrying IP options. Each field test uses
+// the short-circuit CAND so a mismatch rejects immediately.
+func (s Spec) CompileCSPF() CSPFProgram {
+	lw := uint16(s.LinkHdrLen / 2) // link header length in 16-bit words
+	var p CSPFProgram
+	word := func(w, lit uint16) {
+		p = append(p,
+			CSPFInstr{Op: CSPFPushWord, Arg: w},
+			CSPFInstr{Op: CSPFPushLit, Arg: lit},
+			CSPFInstr{Op: CSPFCand},
+		)
+	}
+	// EtherType at word lw-1.
+	word(lw-1, 0x0800)
+	// Protocol: low byte of the TTL/proto word (IP word 4).
+	p = append(p,
+		CSPFInstr{Op: CSPFPushWord, Arg: lw + 4},
+		CSPFInstr{Op: CSPFPushLit, Arg: 0x00ff},
+		CSPFInstr{Op: CSPFAnd},
+		CSPFInstr{Op: CSPFPushLit, Arg: uint16(s.Proto)},
+		CSPFInstr{Op: CSPFCand},
+	)
+	// Fragment offset bits of the flags/frag word (IP word 3) must be 0.
+	p = append(p,
+		CSPFInstr{Op: CSPFPushWord, Arg: lw + 3},
+		CSPFInstr{Op: CSPFPushLit, Arg: 0x1fff},
+		CSPFInstr{Op: CSPFAnd},
+		CSPFInstr{Op: CSPFPushLit, Arg: 0},
+		CSPFInstr{Op: CSPFCand},
+	)
+	// Destination IP (IP words 8, 9).
+	word(lw+8, binary.BigEndian.Uint16(s.LocalIP[0:2]))
+	word(lw+9, binary.BigEndian.Uint16(s.LocalIP[2:4]))
+	if s.RemoteIP != ([4]byte{}) {
+		word(lw+6, binary.BigEndian.Uint16(s.RemoteIP[0:2]))
+		word(lw+7, binary.BigEndian.Uint16(s.RemoteIP[2:4]))
+	}
+	// Ports, assuming IHL=5: transport header at IP word 10.
+	word(lw+11, s.LocalPort)
+	if s.RemotePort != 0 {
+		word(lw+10, s.RemotePort)
+	}
+	return p
+}

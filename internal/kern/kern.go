@@ -1,0 +1,223 @@
+// Package kern simulates the operating-system substrate the paper's three
+// protocol organizations run on: hosts with a single CPU, address-space
+// domains, threads, traps, Mach-style message ports, lightweight semaphores
+// with kernel-mediated wakeups, and shared-memory regions.
+//
+// The kernel charges the *structural* costs — traps, context switches, IPC,
+// wakeups — to the host CPU using the calibrated cost model; protocol
+// processing costs are charged by the organization shells. This split is
+// what lets the three organizations run identical protocol code and differ
+// only in structure, mirroring the paper's methodology.
+package kern
+
+import (
+	"fmt"
+	"time"
+
+	"ulp/internal/costs"
+	"ulp/internal/sim"
+)
+
+// Host is one simulated workstation (a DECstation 5000/200 in the paper's
+// configuration).
+type Host struct {
+	S    *sim.Sim
+	Name string
+	CPU  *sim.Resource
+	Cost costs.Model
+
+	domains []*Domain
+}
+
+// NewHost creates a host with the given cost model.
+func NewHost(s *sim.Sim, name string, model costs.Model) *Host {
+	return &Host{S: s, Name: name, CPU: s.NewResource(name + ".cpu"), Cost: model}
+}
+
+// NewDomain creates an address space on the host. Privileged domains model
+// the kernel and trusted servers (the registry).
+func (h *Host) NewDomain(name string, privileged bool) *Domain {
+	d := &Domain{Host: h, Name: name, Privileged: privileged}
+	h.domains = append(h.domains, d)
+	return d
+}
+
+// ComputeAsync charges d of CPU from event context (interrupt level) and
+// runs fn when the CPU work completes.
+func (h *Host) ComputeAsync(d time.Duration, fn func()) {
+	h.CPU.UseAsync(d, fn)
+}
+
+// Domain is an address space: the kernel, a server, or an application.
+type Domain struct {
+	Host       *Host
+	Name       string
+	Privileged bool
+}
+
+func (d *Domain) String() string { return d.Host.Name + "/" + d.Name }
+
+// Thread is a simulated thread of control bound to a domain.
+type Thread struct {
+	*sim.Proc
+	Dom *Domain
+}
+
+// Spawn starts a thread in the domain.
+func (d *Domain) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{Dom: d}
+	t.Proc = d.Host.S.Spawn(d.String()+"."+name, func(p *sim.Proc) {
+		fn(t)
+	})
+	return t
+}
+
+// SpawnAfter starts a thread in the domain after a delay.
+func (d *Domain) SpawnAfter(delay time.Duration, name string, fn func(t *Thread)) *Thread {
+	t := &Thread{Dom: d}
+	t.Proc = d.Host.S.SpawnAfter(delay, d.String()+"."+name, func(p *sim.Proc) {
+		fn(t)
+	})
+	return t
+}
+
+// Compute charges d of CPU time to the host on behalf of the thread,
+// blocking through any queueing delay.
+func (t *Thread) Compute(d time.Duration) {
+	t.Dom.Host.CPU.Use(t.Proc, d)
+}
+
+// Cost returns the host's cost model.
+func (t *Thread) Cost() *costs.Model { return &t.Dom.Host.Cost }
+
+// Trap charges a general-purpose system-call trap (used by the monolithic
+// organizations' socket calls).
+func (t *Thread) Trap() { t.Compute(t.Cost().SyscallTrap) }
+
+// FastTrap charges the specialized kernel entry used by the library's send
+// path.
+func (t *Thread) FastTrap() { t.Compute(t.Cost().FastTrap) }
+
+// Sem is a lightweight semaphore with kernel-mediated wakeups: V pays only
+// SemSignal when nobody needs waking across domains, and KernelWakeup when
+// it must make a blocked user thread runnable (signal + scheduler pass +
+// switch into the target address space). This matches the paper's
+// "lightweight semaphore that a library thread is waiting on" notification
+// path, including the observation that batching packets per notification
+// amortizes the signalling cost.
+type Sem struct {
+	host *Host
+	sem  *sim.Semaphore
+}
+
+// NewSem creates a semaphore owned by (delivering wakeups on) host h.
+func NewSem(h *Host, name string, initial int) *Sem {
+	return &Sem{host: h, sem: h.S.NewSemaphore(name, initial)}
+}
+
+// V posts the semaphore. May be called from any context; the cost is
+// charged to the host CPU asynchronously.
+func (m *Sem) V() {
+	c := &m.host.Cost
+	if m.sem.Waiters() > 0 {
+		m.host.ComputeAsync(c.KernelWakeup, m.sem.V)
+		return
+	}
+	m.host.ComputeAsync(c.SemSignal, nil)
+	m.sem.V()
+}
+
+// P blocks the thread until the semaphore is posted.
+func (m *Sem) P(t *Thread) { m.sem.P(t.Proc) }
+
+// TryP consumes a pending post without blocking.
+func (m *Sem) TryP() bool { return m.sem.TryP() }
+
+// Signals returns the number of V operations, for batching statistics.
+func (m *Sem) Signals() int { return m.sem.Signals() }
+
+// Region is a memory region shared between domains (e.g. the packet buffer
+// area the network I/O module shares with a protocol library). The region
+// is wired (pinned) for its lifetime, as in the paper. Access control is by
+// possession of the *Region, mirroring capability possession.
+type Region struct {
+	Name string
+	Buf  []byte
+}
+
+// NewRegion allocates a wired shared region.
+func NewRegion(name string, size int) *Region {
+	return &Region{Name: name, Buf: make([]byte, size)}
+}
+
+// Msg is a Mach-style message.
+type Msg struct {
+	// Op names the operation for dispatch.
+	Op string
+	// Body carries the payload object (simulation-side; Size below is what
+	// is charged for the copy through the kernel).
+	Body any
+	// Size is the number of bytes of in-line data the message carries.
+	Size int
+	// Reply, when non-nil, is the port the receiver should respond on.
+	Reply *Port
+}
+
+// Port is a Mach-style message port: a kernel-protected queue with send and
+// receive rights. Sends charge the one-way IPC cost plus in-line data copy;
+// the receiver side charges the context switch upon wakeup (modelled at
+// send time for simplicity, as the costs are serial on one CPU).
+type Port struct {
+	host *Host
+	name string
+	q    *sim.Queue[Msg]
+}
+
+// NewPort creates a port on host h.
+func NewPort(h *Host, name string) *Port {
+	return &Port{host: h, name: name, q: sim.NewQueue[Msg](h.S)}
+}
+
+// Send transmits m to the port from thread t, charging one-way IPC cost,
+// in-line data copy, and the context switch into the receiving domain.
+func (p *Port) Send(t *Thread, m Msg) {
+	c := t.Cost()
+	t.Compute(c.MachIPCSend + c.Copy(m.Size) + c.ContextSwitch)
+	p.q.Push(m)
+}
+
+// SendAsync posts from event context (e.g. a kernel-side completion),
+// charging costs asynchronously.
+func (p *Port) SendAsync(m Msg) {
+	c := &p.host.Cost
+	p.host.ComputeAsync(c.MachIPCSend+c.Copy(m.Size), func() {
+		p.q.Push(m)
+	})
+}
+
+// Receive blocks until a message arrives.
+func (p *Port) Receive(t *Thread) Msg {
+	return p.q.Pop(t.Proc)
+}
+
+// Call performs an RPC: send m, then block for the reply on a private
+// reply port. The reply path charges the return IPC and switch.
+func (p *Port) Call(t *Thread, m Msg) Msg {
+	reply := NewPort(t.Dom.Host, p.name+".reply")
+	m.Reply = reply
+	p.Send(t, m)
+	r := reply.Receive(t)
+	c := t.Cost()
+	t.Compute(c.MachIPCSend + c.Copy(r.Size) + c.ContextSwitch)
+	return r
+}
+
+// Reply responds to a received message carrying a reply port.
+func (m Msg) ReplyTo(t *Thread, r Msg) {
+	if m.Reply == nil {
+		panic(fmt.Sprintf("kern: reply to one-way message %q", m.Op))
+	}
+	// The responder pays the send; the caller pays the receive-side costs
+	// in Call.
+	m.Reply.q.Push(r)
+}

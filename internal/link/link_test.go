@@ -1,0 +1,133 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ulp/internal/pkt"
+)
+
+func TestEthGolden(t *testing.T) {
+	h := EthHeader{
+		Dst:  Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Src:  Addr{0x08, 0x00, 0x2b, 0x01, 0x02, 0x03},
+		Type: TypeARP,
+	}
+	b := pkt.FromBytes(EthHeaderLen, []byte{0xde, 0xad})
+	h.Encode(b)
+	want := []byte{
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+		0x08, 0x00, 0x2b, 0x01, 0x02, 0x03,
+		0x08, 0x06,
+		0xde, 0xad,
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("encoded frame = %x, want %x", b.Bytes(), want)
+	}
+	got, err := DecodeEth(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(b.Bytes(), []byte{0xde, 0xad}) {
+		t.Fatalf("payload after decode = %x", b.Bytes())
+	}
+}
+
+func TestAN1Golden(t *testing.T) {
+	h := AN1Header{
+		Dst:    MakeAddr(2),
+		Src:    MakeAddr(1),
+		BQI:    0x0102,
+		AdvBQI: 0x0a0b,
+		Type:   TypeIPv4,
+	}
+	b := pkt.FromBytes(AN1HeaderLen, []byte{1, 2, 3})
+	h.Encode(b)
+	want := []byte{
+		0x08, 0x00, 0x2b, 0x00, 0x00, 0x02,
+		0x08, 0x00, 0x2b, 0x00, 0x00, 0x01,
+		0x01, 0x02,
+		0x0a, 0x0b,
+		0x08, 0x00,
+		1, 2, 3,
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("encoded frame = %x, want %x", b.Bytes(), want)
+	}
+	got, err := DecodeAN1(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+}
+
+func TestShortFrames(t *testing.T) {
+	if _, err := DecodeEth(pkt.FromBytes(0, make([]byte, 13))); err == nil {
+		t.Fatal("expected error for short ethernet frame")
+	}
+	if _, err := DecodeAN1(pkt.FromBytes(0, make([]byte, 17))); err == nil {
+		t.Fatal("expected error for short AN1 frame")
+	}
+	if _, err := PeekEth(pkt.FromBytes(0, nil)); err == nil {
+		t.Fatal("expected error peeking empty frame")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	h := EthHeader{Dst: MakeAddr(1), Src: MakeAddr(2), Type: TypeIPv4}
+	b := pkt.FromBytes(EthHeaderLen, []byte("xyz"))
+	h.Encode(b)
+	before := b.Len()
+	got, err := PeekEth(b)
+	if err != nil || got != h {
+		t.Fatalf("peek = %+v, %v", got, err)
+	}
+	if b.Len() != before {
+		t.Fatal("peek consumed bytes")
+	}
+}
+
+func TestEthRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(dst, src [6]byte, typ uint16, payload []byte) bool {
+		h := EthHeader{Dst: dst, Src: src, Type: EtherType(typ)}
+		b := pkt.FromBytes(EthHeaderLen, payload)
+		h.Encode(b)
+		got, err := DecodeEth(b)
+		return err == nil && got == h && bytes.Equal(b.Bytes(), payload)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAN1RoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(dst, src [6]byte, bqi, adv, typ uint16, payload []byte) bool {
+		h := AN1Header{Dst: dst, Src: src, BQI: bqi, AdvBQI: adv, Type: EtherType(typ)}
+		b := pkt.FromBytes(AN1HeaderLen, payload)
+		h.Encode(b)
+		got, err := DecodeAN1(b)
+		return err == nil && got == h && bytes.Equal(b.Bytes(), payload)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast.IsBroadcast() = false")
+	}
+	if MakeAddr(1).IsBroadcast() {
+		t.Fatal("unicast address reported as broadcast")
+	}
+	if MakeAddr(1) == MakeAddr(2) {
+		t.Fatal("MakeAddr not unique per index")
+	}
+	if MakeAddr(3).String() != "08:00:2b:00:00:03" {
+		t.Fatalf("String = %s", MakeAddr(3).String())
+	}
+}

@@ -1,0 +1,427 @@
+// Package netio implements the network I/O module, the in-kernel component
+// co-located with the device driver that gives user-level protocol libraries
+// efficient *and protected* network access (paper §3.3):
+//
+//   - All access is through unforgeable capabilities created jointly by the
+//     registry server and the module at connection-setup time.
+//   - On transmission, the module verifies the packet's headers against the
+//     *header template* associated with the presented send capability, which
+//     prevents impersonation.
+//   - On reception, packets are demultiplexed to authorized endpoints only —
+//     in software on the LANCE (a synthesized native predicate; the filter
+//     package reproduces the CSPF/BPF interpreters it replaces) and in
+//     hardware on the AN1 via the BQI ring table.
+//   - Received packets land in a memory region shared with the library,
+//     pinned for the connection's lifetime, and the library is notified by a
+//     lightweight semaphore; notifications are batched when packets arrive
+//     faster than the library drains them.
+//
+// Packets matching no binding fall through to a default handler: the
+// protected kernel path used by the registry server (connection setup, ARP)
+// and by the monolithic organizations.
+package netio
+
+import (
+	"errors"
+	"fmt"
+
+	"ulp/internal/filter"
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netdev"
+	"ulp/internal/pkt"
+)
+
+// Errors returned by the send path.
+var (
+	ErrBadCapability    = errors.New("netio: invalid or revoked capability")
+	ErrTemplateMismatch = errors.New("netio: packet header violates send template")
+)
+
+// Template constrains the headers of packets sent with a capability. Zero
+// fields of RemoteIP/RemotePort are unconstrained (listening endpoints).
+type Template struct {
+	LinkSrc    link.Addr
+	LinkDst    link.Addr // zero = unconstrained (e.g. before ARP completes)
+	Type       link.EtherType
+	Proto      uint8 // 0 = link-level only (raw channels)
+	LocalIP    ipv4.Addr
+	LocalPort  uint16
+	RemoteIP   ipv4.Addr
+	RemotePort uint16
+}
+
+// zeroAddr is the unconstrained link address.
+var zeroAddr link.Addr
+
+// Verify checks an outbound frame against the template. hdrLen is the link
+// header length of the device.
+func (t *Template) Verify(frame []byte, hdrLen int) bool {
+	if len(frame) < hdrLen {
+		return false
+	}
+	var dst, src link.Addr
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+	et := link.EtherType(uint16(frame[hdrLen-2])<<8 | uint16(frame[hdrLen-1]))
+	if src != t.LinkSrc {
+		return false
+	}
+	if t.LinkDst != zeroAddr && dst != t.LinkDst {
+		return false
+	}
+	if et != t.Type {
+		return false
+	}
+	if t.Proto == 0 {
+		return true
+	}
+	ip := frame[hdrLen:]
+	if len(ip) < ipv4.HeaderLen {
+		return false
+	}
+	if ip[9] != t.Proto {
+		return false
+	}
+	if [4]byte(ip[12:16]) != t.LocalIP {
+		return false
+	}
+	if t.RemoteIP != ([4]byte{}) && [4]byte(ip[16:20]) != t.RemoteIP {
+		return false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4.HeaderLen || len(ip) < ihl+4 {
+		return false
+	}
+	srcPort := uint16(ip[ihl])<<8 | uint16(ip[ihl+1])
+	dstPort := uint16(ip[ihl+2])<<8 | uint16(ip[ihl+3])
+	if srcPort != t.LocalPort {
+		return false
+	}
+	if t.RemotePort != 0 && dstPort != t.RemotePort {
+		return false
+	}
+	return true
+}
+
+// Capability is an unforgeable send/receive right for one channel.
+type Capability struct {
+	id       uint64
+	template Template
+	ch       *Channel
+}
+
+// Channel is the shared-memory conduit between the module and one library
+// endpoint: a receive ring in pinned shared memory plus the notification
+// semaphore.
+type Channel struct {
+	Region  *kern.Region
+	sem     *kern.Sem
+	rxq     []*pkt.Buf
+	cap     int
+	bqi     uint16 // nonzero on AN1
+	noBatch bool
+	mod     *Module
+
+	// Stats
+	Delivered, Dropped, Notifications int
+}
+
+// Wait blocks the library thread until the channel is notified, then
+// drains and returns the pending batch ("our implementation attempts,
+// where possible, to batch multiple network packets per semaphore
+// notification"). A nil batch means a spurious wakeup (see Poke); callers
+// re-check their termination condition and wait again.
+func (ch *Channel) Wait(t *kern.Thread) []*pkt.Buf {
+	if len(ch.rxq) == 0 {
+		ch.sem.P(t)
+	}
+	batch := ch.rxq
+	ch.rxq = nil
+	// Consume any extra pending notification so the next Wait blocks.
+	for ch.sem.TryP() {
+	}
+	if ch.bqi != 0 {
+		if an1, ok := ch.mod.dev.(*netdev.AN1); ok {
+			for range batch {
+				an1.Release(ch.bqi)
+			}
+		}
+	}
+	return batch
+}
+
+// TryRecv drains pending packets without blocking.
+func (ch *Channel) TryRecv() []*pkt.Buf {
+	batch := ch.rxq
+	ch.rxq = nil
+	for ch.sem.TryP() {
+	}
+	if ch.bqi != 0 && len(batch) > 0 {
+		if an1, ok := ch.mod.dev.(*netdev.AN1); ok {
+			for range batch {
+				an1.Release(ch.bqi)
+			}
+		}
+	}
+	return batch
+}
+
+// Pending reports queued packets (diagnostics).
+func (ch *Channel) Pending() int { return len(ch.rxq) }
+
+// Poke wakes a thread blocked in Wait without delivering a packet, so the
+// owner can observe a shutdown flag.
+func (ch *Channel) Poke() { ch.sem.V() }
+
+// Inject delivers a frame into the channel from the kernel's default input
+// path — used by the registry to forward stray segments of a connection
+// whose demultiplexing binding was installed mid-exchange.
+func (ch *Channel) Inject(b *pkt.Buf) { ch.deliver(b) }
+
+// BQI returns the channel's hardware demultiplexing index (0 on Ethernet).
+func (ch *Channel) BQI() uint16 { return ch.bqi }
+
+// deliver enqueues a packet and notifies the library. The semaphore is
+// posted only when the queue transitions from empty, so a burst arriving
+// before the library wakes is delivered under a single notification.
+func (ch *Channel) deliver(b *pkt.Buf) {
+	if len(ch.rxq) >= ch.cap {
+		ch.Dropped++
+		return
+	}
+	ch.rxq = append(ch.rxq, b)
+	ch.Delivered++
+	if len(ch.rxq) == 1 || ch.noBatch {
+		ch.Notifications++
+		ch.sem.V()
+	}
+}
+
+// binding is one software demux entry.
+type binding struct {
+	match func([]byte) bool
+	ch    *Channel
+}
+
+// Module is one device's network I/O module.
+type Module struct {
+	host *kern.Host
+	dev  netdev.Device
+
+	nextCapID uint64
+	nextBQI   uint16
+	caps      map[uint64]*Capability
+	bindings  []*binding
+
+	defaultRx netdev.RxHandler
+
+	// DisableBatching makes every delivered packet post its own
+	// notification (the batching ablation; the paper observes "network
+	// packet batching is very effective").
+	DisableBatching bool
+
+	// Stats
+	SendOK, SendRejected, DemuxMatched, DemuxDefault int
+}
+
+// New creates the module for a device and installs its receive path. For
+// the AN1, the default kernel ring (BQI 0) is installed; per-channel rings
+// are added as connections are set up.
+func New(h *kern.Host, dev netdev.Device) *Module {
+	m := &Module{
+		host:      h,
+		dev:       dev,
+		nextCapID: 1,
+		nextBQI:   1,
+		caps:      make(map[uint64]*Capability),
+	}
+	dev.SetRxHandler(m.rxSoftware)
+	return m
+}
+
+// Device returns the underlying device.
+func (m *Module) Device() netdev.Device { return m.dev }
+
+// SetDefaultHandler installs the protected kernel input path for packets
+// matching no user binding (registry traffic, ARP, monolithic stacks).
+func (m *Module) SetDefaultHandler(h netdev.RxHandler) { m.defaultRx = h }
+
+// rxSoftware is the interrupt-level input path for the default ring: on the
+// LANCE it demultiplexes every packet in software; on the AN1 it handles
+// only BQI-0 packets (hardware already demultiplexed the rest).
+func (m *Module) rxSoftware(b *pkt.Buf) {
+	c := &m.host.Cost
+	if _, isAN1 := m.dev.(*netdev.AN1); !isAN1 {
+		// Software demultiplexing: one run of the synthesized native
+		// predicate chain over the headers.
+		m.host.CPU.UseAsync(c.LanceDemuxFixed+c.FilterDemux, nil)
+		frame := b.Bytes()
+		for _, bd := range m.bindings {
+			if bd.match(frame) {
+				m.DemuxMatched++
+				// The packet was staged into kernel memory by the PIO
+				// copy; moving it into the channel's shared region is a
+				// second copy on this interface.
+				m.host.CPU.UseAsync(c.Copy(b.Len()), nil)
+				bd.ch.deliver(b)
+				return
+			}
+		}
+	}
+	m.DemuxDefault++
+	if m.defaultRx != nil {
+		m.defaultRx(b)
+	}
+}
+
+// ReserveBQI allocates a buffer queue index ahead of channel creation, so
+// the handshake can advertise it before the ring exists (data cannot
+// arrive until the handshake completes). Only privileged domains may
+// reserve.
+func (m *Module) ReserveBQI(from *kern.Domain) (uint16, error) {
+	if !from.Privileged {
+		return 0, fmt.Errorf("netio: BQI reservation from unprivileged domain %s", from)
+	}
+	if _, ok := m.dev.(*netdev.AN1); !ok {
+		return 0, nil // no hardware demultiplexing on this device
+	}
+	bqi := m.nextBQI
+	m.nextBQI++
+	return bqi, nil
+}
+
+// CreateChannel builds the shared region, ring, capability and demux
+// binding for one endpoint. Only a privileged domain (the registry server)
+// may call it: "initially, only the privileged registry server has access
+// to the network module."
+//
+// spec describes the endpoint for input demultiplexing; tmpl constrains
+// output. ringSize is the receive ring capacity in packets.
+func (m *Module) CreateChannel(from *kern.Domain, spec filter.Spec, tmpl Template, ringSize int) (*Capability, *Channel, error) {
+	if !from.Privileged {
+		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
+	}
+	return m.createChannel(spec.Match, tmpl, ringSize, 0)
+}
+
+// CreateChannelBQI is CreateChannel with a previously reserved BQI.
+func (m *Module) CreateChannelBQI(from *kern.Domain, spec filter.Spec, tmpl Template, ringSize int, bqi uint16) (*Capability, *Channel, error) {
+	if !from.Privileged {
+		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
+	}
+	return m.createChannel(spec.Match, tmpl, ringSize, bqi)
+}
+
+// CreateRawChannel builds a channel demultiplexed by EtherType alone, for
+// link-level protocols (the Table 1 mechanism micro-benchmark "used two
+// applications to exchange data ... without using any higher-level
+// protocols").
+func (m *Module) CreateRawChannel(from *kern.Domain, et link.EtherType, tmpl Template, ringSize int) (*Capability, *Channel, error) {
+	if !from.Privileged {
+		return nil, nil, fmt.Errorf("netio: raw channel creation from unprivileged domain %s", from)
+	}
+	hdrLen := m.dev.HdrLen()
+	match := func(frame []byte) bool {
+		if len(frame) < hdrLen {
+			return false
+		}
+		return link.EtherType(uint16(frame[hdrLen-2])<<8|uint16(frame[hdrLen-1])) == et
+	}
+	return m.createChannel(match, tmpl, ringSize, 0)
+}
+
+func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
+	if ringSize <= 0 {
+		ringSize = 32
+	}
+	ch := &Channel{
+		Region:  kern.NewRegion(fmt.Sprintf("%s.ch%d", m.dev.Name(), m.nextCapID), ringSize*2048),
+		sem:     kern.NewSem(m.host, "chan-sem", 0),
+		cap:     ringSize,
+		noBatch: m.DisableBatching,
+		mod:     m,
+	}
+	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch}
+	m.nextCapID++
+	m.caps[cap.id] = cap
+
+	if an1, ok := m.dev.(*netdev.AN1); ok {
+		// Hardware demultiplexing: install the ring under the reserved (or
+		// a fresh) BQI.
+		ch.bqi = reservedBQI
+		if ch.bqi == 0 {
+			ch.bqi = m.nextBQI
+			m.nextBQI++
+		}
+		an1.InstallRing(ch.bqi, ringSize, func(b *pkt.Buf) { ch.deliver(b) })
+	} else {
+		m.bindings = append(m.bindings, &binding{match: match, ch: ch})
+	}
+	return cap, ch, nil
+}
+
+// DestroyChannel revokes a capability and removes its demux binding
+// (connection teardown; resources "registered with the network I/O module
+// are now reclaimed").
+func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: channel destruction from unprivileged domain %s", from)
+	}
+	if _, ok := m.caps[cap.id]; !ok {
+		return ErrBadCapability
+	}
+	delete(m.caps, cap.id)
+	if cap.ch.bqi != 0 {
+		if an1, ok := m.dev.(*netdev.AN1); ok {
+			an1.RemoveRing(cap.ch.bqi)
+		}
+	}
+	for i, bd := range m.bindings {
+		if bd.ch == cap.ch {
+			m.bindings = append(m.bindings[:i], m.bindings[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// UpdateTemplate amends a capability's template (the registry narrows it
+// once the remote endpoint and link address are known).
+func (m *Module) UpdateTemplate(from *kern.Domain, cap *Capability, tmpl Template) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: template update from unprivileged domain %s", from)
+	}
+	if _, ok := m.caps[cap.id]; !ok {
+		return ErrBadCapability
+	}
+	cap.template = tmpl
+	return nil
+}
+
+// Send is the library's specialized kernel entry for transmission: the
+// calling thread pays the fast trap and the per-packet template check; a
+// frame whose headers violate the template is rejected.
+func (m *Module) Send(t *kern.Thread, cap *Capability, frame *pkt.Buf) error {
+	c := t.Cost()
+	t.FastTrap()
+	if cap == nil || m.caps[cap.id] != cap {
+		m.SendRejected++
+		return ErrBadCapability
+	}
+	t.Compute(c.TemplateCheck)
+	if !cap.template.Verify(frame.Bytes(), m.dev.HdrLen()) {
+		m.SendRejected++
+		return ErrTemplateMismatch
+	}
+	m.SendOK++
+	m.dev.Transmit(t, frame)
+	return nil
+}
+
+// SendKernel is the in-kernel transmit path used by the registry server and
+// the monolithic stacks (no capability involved; caller is trusted).
+func (m *Module) SendKernel(t *kern.Thread, frame *pkt.Buf) {
+	m.dev.Transmit(t, frame)
+}

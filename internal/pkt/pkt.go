@@ -1,0 +1,95 @@
+// Package pkt provides the packet buffer used throughout the stack: a flat
+// byte buffer with reserved headroom so that successive protocol layers can
+// prepend their headers without copying (the classic mbuf/skbuff trick), plus
+// the metadata that rides along with a packet through the simulation.
+package pkt
+
+import "fmt"
+
+// Buf is a packet buffer. The valid packet bytes are data[off:]; the region
+// data[:off] is headroom available for prepending headers.
+type Buf struct {
+	data []byte
+	off  int
+
+	// Meta carries simulation-side metadata; it is not part of the bytes on
+	// the wire.
+	Meta Meta
+}
+
+// Meta is per-packet simulation metadata.
+type Meta struct {
+	// BQI is the AN1 buffer queue index parsed from (or to be written into)
+	// the link header. Zero is the protected kernel default queue.
+	BQI uint16
+
+	// RxDev names the device the packet arrived on, for diagnostics.
+	RxDev string
+
+	// Corrupt marks a packet damaged by fault injection after any link CRC
+	// would have been computed, to exercise checksum recovery paths.
+	Corrupt bool
+}
+
+// New allocates a buffer with the given headroom and payload size. The
+// payload region is zeroed.
+func New(headroom, size int) *Buf {
+	return &Buf{data: make([]byte, headroom+size), off: headroom}
+}
+
+// FromBytes builds a buffer around a copy of p with the given headroom.
+func FromBytes(headroom int, p []byte) *Buf {
+	b := New(headroom, len(p))
+	copy(b.Bytes(), p)
+	return b
+}
+
+// Bytes returns the valid packet bytes. The slice aliases the buffer;
+// mutating it mutates the packet.
+func (b *Buf) Bytes() []byte { return b.data[b.off:] }
+
+// Len returns the number of valid packet bytes.
+func (b *Buf) Len() int { return len(b.data) - b.off }
+
+// Headroom returns the bytes available for Prepend.
+func (b *Buf) Headroom() int { return b.off }
+
+// Prepend grows the packet forward by n bytes and returns the new front
+// region for the caller to fill in. It panics if headroom is exhausted —
+// layers are expected to size headroom correctly, and silently reallocating
+// would hide layering bugs.
+func (b *Buf) Prepend(n int) []byte {
+	if n > b.off {
+		panic(fmt.Sprintf("pkt: prepend %d exceeds headroom %d", n, b.off))
+	}
+	b.off -= n
+	return b.data[b.off : b.off+n]
+}
+
+// Strip removes n bytes from the front (consuming a header) and returns the
+// removed region.
+func (b *Buf) Strip(n int) []byte {
+	if n > b.Len() {
+		panic(fmt.Sprintf("pkt: strip %d exceeds length %d", n, b.Len()))
+	}
+	h := b.data[b.off : b.off+n]
+	b.off += n
+	return h
+}
+
+// Trim shortens the packet to n bytes, dropping the tail.
+func (b *Buf) Trim(n int) {
+	if n > b.Len() {
+		panic(fmt.Sprintf("pkt: trim to %d exceeds length %d", n, b.Len()))
+	}
+	b.data = b.data[:b.off+n]
+}
+
+// Clone deep-copies the buffer, preserving headroom and metadata. Used by
+// the wire for duplication faults and by devices that must retain a packet
+// across retransmission.
+func (b *Buf) Clone() *Buf {
+	nb := &Buf{data: make([]byte, len(b.data)), off: b.off, Meta: b.Meta}
+	copy(nb.data, b.data)
+	return nb
+}

@@ -1,0 +1,106 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrependStripRoundTrip(t *testing.T) {
+	b := New(64, 4)
+	copy(b.Bytes(), "data")
+	hdr := b.Prepend(6)
+	copy(hdr, "header")
+	if b.Len() != 10 {
+		t.Fatalf("len = %d, want 10", b.Len())
+	}
+	if !bytes.Equal(b.Bytes(), []byte("headerdata")) {
+		t.Fatalf("bytes = %q", b.Bytes())
+	}
+	got := b.Strip(6)
+	if !bytes.Equal(got, []byte("header")) {
+		t.Fatalf("stripped = %q", got)
+	}
+	if !bytes.Equal(b.Bytes(), []byte("data")) {
+		t.Fatalf("after strip = %q", b.Bytes())
+	}
+}
+
+func TestPrependExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when prepending past headroom")
+		}
+	}()
+	b := New(4, 0)
+	b.Prepend(5)
+}
+
+func TestStripOverrunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when stripping past end")
+		}
+	}()
+	b := New(0, 3)
+	b.Strip(4)
+}
+
+func TestTrim(t *testing.T) {
+	b := FromBytes(8, []byte("hello world"))
+	b.Trim(5)
+	if !bytes.Equal(b.Bytes(), []byte("hello")) {
+		t.Fatalf("trimmed = %q", b.Bytes())
+	}
+	if b.Headroom() != 8 {
+		t.Fatalf("headroom = %d, want 8", b.Headroom())
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := FromBytes(16, []byte("abc"))
+	b.Meta.BQI = 7
+	c := b.Clone()
+	c.Bytes()[0] = 'z'
+	if b.Bytes()[0] != 'a' {
+		t.Fatal("clone aliases original")
+	}
+	if c.Meta.BQI != 7 {
+		t.Fatal("clone dropped metadata")
+	}
+	c.Prepend(4)
+	if b.Len() != 3 {
+		t.Fatal("clone prepend affected original length")
+	}
+}
+
+// Property: any sequence of prepends followed by the same strips restores
+// the original payload.
+func TestLayeringProperty(t *testing.T) {
+	if err := quick.Check(func(payload []byte, sizes []uint8) bool {
+		total := 0
+		var hdrs [][]byte
+		for _, s := range sizes {
+			n := int(s%32) + 1
+			total += n
+		}
+		b := FromBytes(total, payload)
+		for _, s := range sizes {
+			n := int(s%32) + 1
+			h := b.Prepend(n)
+			for i := range h {
+				h[i] = byte(n)
+			}
+			hdrs = append(hdrs, append([]byte(nil), h...))
+		}
+		for i := len(hdrs) - 1; i >= 0; i-- {
+			got := b.Strip(len(hdrs[i]))
+			if !bytes.Equal(got, hdrs[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(b.Bytes(), payload)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package registry
+
+import (
+	"time"
+
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/pkt"
+	"ulp/internal/stacks"
+	"ulp/internal/tcp"
+)
+
+// inputLoop is the registry's default-path receive thread: everything the
+// per-connection demultiplexing did not claim arrives here — handshake
+// segments, ARP, strays for transferred connections, and segments for
+// nonexistent endpoints (answered with RST).
+func (r *Server) inputLoop(t *kern.Thread) {
+	c := &r.host.Cost
+	for {
+		b := r.rxq.Pop(t.Proc)
+		t.Compute(c.ThreadSwitch)
+		r.input(t, b)
+	}
+}
+
+func (r *Server) input(t *kern.Thread, b *pkt.Buf) {
+	var et link.EtherType
+	advBQI := uint16(0)
+	if r.nif.IsAN1() {
+		h, err := link.DecodeAN1(b)
+		if err != nil {
+			return
+		}
+		et = h.Type
+		advBQI = h.AdvBQI
+	} else {
+		h, err := link.DecodeEth(b)
+		if err != nil {
+			return
+		}
+		et = h.Type
+	}
+	switch et {
+	case link.TypeARP:
+		r.nif.InputARP(t, b, r.nif.Mod.SendKernel)
+		return
+	case link.TypeIPv4:
+	default:
+		return
+	}
+	h, data, ok := r.nif.InputIP(b)
+	if !ok {
+		return
+	}
+	switch h.Proto {
+	case ipv4.ProtoTCP:
+		r.inputTCP(t, h, data, advBQI)
+	case ipv4.ProtoUDP:
+		r.inputUDP(t, h, data)
+	}
+}
+
+// inputUDP demultiplexes default-path datagrams to bound library
+// end-points (the software fallback when BQIs cannot be negotiated).
+func (r *Server) inputUDP(t *kern.Thread, h ipv4.Header, data []byte) {
+	if len(data) < 4 {
+		return
+	}
+	dstPort := uint16(data[2])<<8 | uint16(data[3])
+	ch, ok := r.udpChannels[dstPort]
+	if !ok {
+		return // port unreachable: the simplified IP library drops
+	}
+	ih := ipv4.Header{ID: h.ID, TTL: h.TTL, Proto: ipv4.ProtoUDP, Src: h.Src, Dst: h.Dst}
+	fwd := pkt.FromBytes(r.nif.Mod.Device().HdrLen()+ipv4.HeaderLen, data)
+	ih.Encode(fwd)
+	if r.nif.IsAN1() {
+		lh := link.AN1Header{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
+		lh.Encode(fwd)
+	} else {
+		lh := link.EthHeader{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
+		lh.Encode(fwd)
+	}
+	ch.Inject(fwd)
+}
+
+func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uint16) {
+	seg := pkt.FromBytes(0, data)
+	th, err := tcp.Decode(seg, h.Src, h.Dst)
+	if err != nil {
+		return
+	}
+	local := tcp.Endpoint{IP: h.Dst, Port: th.DstPort}
+	peer := tcp.Endpoint{IP: h.Src, Port: th.SrcPort}
+	t.Compute(stacks.SegCost(r.host, seg.Len(), false))
+
+	// Registry-owned pcb (handshaking or inherited)?
+	if tc, ok := r.owned.LookupExact(local, peer); ok {
+		hc := r.conns[tc]
+		if hc != nil && advBQI != 0 {
+			// Learn the peer's data-phase BQI from the link header.
+			hc.peerBQI = advBQI
+		}
+		r.runEngine(t, func() { tc.Input(th, seg.Bytes()) })
+		return
+	}
+
+	// Stray default-path segment of a transferred connection (e.g. a
+	// retransmitted handshake ACK on the AN1): forward into its channel by
+	// rebuilding the frame bytes the channel consumer expects.
+	if ch, ok := r.transferred[tcp.FourTuple{Local: local, Peer: peer}]; ok {
+		// Re-encode IP + link headers so the library-side input path can
+		// parse the frame uniformly.
+		ih := ipv4.Header{ID: h.ID, TTL: h.TTL, Proto: ipv4.ProtoTCP, Src: h.Src, Dst: h.Dst}
+		fwd := pkt.FromBytes(r.nif.Mod.Device().HdrLen()+ipv4.HeaderLen, data)
+		ih.Encode(fwd)
+		if r.nif.IsAN1() {
+			lh := link.AN1Header{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
+			lh.Encode(fwd)
+		} else {
+			lh := link.EthHeader{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
+			lh.Encode(fwd)
+		}
+		ch.Inject(fwd)
+		return
+	}
+
+	// SYN for a registered listener: clone a pcb and let the handshake
+	// proceed; setup of the user channel happens before the SYN|ACK goes
+	// out so the BQI can ride its link header.
+	if l, ok := r.listeners[local.Port]; ok &&
+		th.Flags&tcp.FlagSYN != 0 && th.Flags&(tcp.FlagACK|tcp.FlagRST) == 0 {
+		hc := &hsConn{opts: l.opts, l: l, peerBQI: advBQI}
+		if r.nif.IsAN1() {
+			t.Compute(t.Cost().BQIReserve)
+			bqi, err := r.nif.Mod.ReserveBQI(r.dom)
+			if err != nil {
+				return
+			}
+			hc.ourBQI = bqi
+		}
+		tc := tcp.NewConn(r.tcpConfig(l.opts), local, peer, tcp.Callbacks{})
+		tc.SetISS(r.nextISS())
+		hc.tc = tc
+		r.attach(tc, hc)
+		tc.OpenListen()
+		if err := r.owned.Insert(tc); err != nil {
+			return
+		}
+		r.runEngine(t, func() { tc.Input(th, seg.Bytes()) })
+		return
+	}
+
+	// No endpoint: reset.
+	if rst, rb := tcp.MakeRST(th, seg.Len(), r.nif.Headroom(), local, peer); rst != nil {
+		r.nif.WrapIP(rb, ipv4.ProtoTCP, peer.IP)
+		r.resolveAndSend(t, rb, peer.IP, 0, 0)
+	}
+}
+
+// fastTimer drives delayed ACKs for registry-owned pcbs.
+func (r *Server) fastTimer(t *kern.Thread) {
+	c := &r.host.Cost
+	for {
+		t.Sleep(200 * time.Millisecond)
+		r.runEngine(t, func() {
+			r.owned.Each(func(tc *tcp.Conn) {
+				t.Compute(c.TimerOp)
+				tc.FastTick()
+			})
+		})
+	}
+}
+
+// slowTimer drives protocol timers (including inherited TIME_WAIT pcbs)
+// plus ARP and reassembly expiry.
+func (r *Server) slowTimer(t *kern.Thread) {
+	c := &r.host.Cost
+	for {
+		t.Sleep(500 * time.Millisecond)
+		r.runEngine(t, func() {
+			r.owned.Each(func(tc *tcp.Conn) {
+				t.Compute(c.TimerOp)
+				tc.SlowTick()
+			})
+		})
+		r.nif.Rsm.Expire(r.nifNow())
+	}
+}

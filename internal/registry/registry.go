@@ -1,0 +1,459 @@
+// Package registry implements the registry server of the user-level
+// library organization (paper §3.4): a trusted, privileged process that
+//
+//   - allocates and deallocates connection end-points (TCP ports), since
+//     "having untrusted user libraries allocate these names is a security
+//     and administrative concern";
+//   - executes the TCP three-way handshake on the application's behalf,
+//     exchanging buffer queue indexes through the AN1 link header so the
+//     data phase can use hardware demultiplexing;
+//   - collaborates with the network I/O module to create the shared-memory
+//     channel, send capability, and header template, then transfers the
+//     established connection's TCP state to the library;
+//   - inherits connections when an application exits, holding them through
+//     the protocol-specified quiet period, and "issues a reset message to
+//     the remote peer" on abnormal termination.
+//
+// The registry reaches the network through the module's protected kernel
+// path rather than a shared-memory channel ("the registry server does not
+// access the network device using shared memory, but instead uses standard
+// Mach IPCs"), which is deliberately slower — connection setup cost is paid
+// once and amortized over the data transfers that bypass the server.
+package registry
+
+import (
+	"time"
+
+	"ulp/internal/filter"
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netio"
+	"ulp/internal/pkt"
+	"ulp/internal/sim"
+	"ulp/internal/stacks"
+	"ulp/internal/tcp"
+)
+
+// ConnectReq asks the registry to actively open a connection.
+type ConnectReq struct {
+	Remote tcp.Endpoint
+	Opts   stacks.Options
+}
+
+// ListenReq asks the registry to listen on a port; established connections
+// are handed off through AcceptPort.
+type ListenReq struct {
+	Port       uint16
+	Opts       stacks.Options
+	AcceptPort *kern.Port
+}
+
+// UnlistenReq stops listening.
+type UnlistenReq struct{ Port uint16 }
+
+// TeardownReq reclaims a handed-off connection's resources after the
+// library has driven it to CLOSED ("resources allocated to the application
+// and registered with the network I/O module are now reclaimed").
+type TeardownReq struct {
+	Local, Peer tcp.Endpoint
+	Cap         *netio.Capability
+}
+
+// Handoff carries an established connection to a library: the TCP state,
+// the channel and capability for the data path, and the peer's link
+// address and buffer queue index for outbound framing.
+type Handoff struct {
+	Snap    tcp.Snapshot
+	Cap     *netio.Capability
+	Channel *netio.Channel
+	PeerHW  link.Addr
+	PeerBQI uint16
+	Err     error
+}
+
+// InheritReq returns a connection to the registry when its application
+// exits: the registry drives remaining timers (TIME_WAIT) or, for an
+// abnormal exit, resets the peer.
+type InheritReq struct {
+	Snap    tcp.Snapshot
+	Cap     *netio.Capability
+	Abort   bool
+	PeerHW  link.Addr
+	PeerBQI uint16
+}
+
+// hsConn is a connection the registry currently owns: handshaking,
+// inherited, or awaiting teardown.
+type hsConn struct {
+	tc      *tcp.Conn
+	opts    stacks.Options
+	peerHW  link.Addr
+	peerBQI uint16 // peer's advertised data-phase BQI
+	ourCh   *netio.Channel
+	ourCap  *netio.Capability
+	ourBQI  uint16     // reserved before the handshake on the AN1
+	reply   *kern.Port // where to deliver the handoff
+	l       *listener  // set for passive-side pcbs
+}
+
+// listener is a registered passive endpoint.
+type listener struct {
+	port   uint16
+	opts   stacks.Options
+	accept *kern.Port
+}
+
+// Server is one host's registry.
+type Server struct {
+	host *kern.Host
+	dom  *kern.Domain
+	nif  *stacks.Netif
+	Svc  *kern.Port
+
+	ports     *tcp.PortAlloc
+	udpPorts  *tcp.PortAlloc
+	iss       tcp.Seq
+	owned     *tcp.Table
+	conns     map[*tcp.Conn]*hsConn
+	listeners map[uint16]*listener
+	// transferred routes stray default-path segments of handed-off
+	// connections into their channels (e.g. a retransmitted handshake ACK
+	// on the AN1 arriving at BQI zero).
+	transferred map[tcp.FourTuple]*netio.Channel
+	// udpChannels routes datagrams that reach the default path to their
+	// bound end-points. On the AN1 this is the common case: "the hardware
+	// packet demultiplexing mechanism is difficult to exploit because
+	// there is no separate connection setup phase that can negotiate the
+	// BQIs" — so datagrams arrive at BQI zero and are demultiplexed in
+	// software here.
+	udpChannels map[uint16]*netio.Channel
+
+	rxq  *sim.Queue[*pkt.Buf]
+	cur  *kern.Thread
+	lock *sim.Semaphore
+}
+
+// New starts a registry server over a host's network I/O module.
+func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
+	r := &Server{
+		host:        mod.Device().Host(),
+		nif:         stacks.NewNetif(s, mod, ip),
+		ports:       tcp.NewPortAlloc(),
+		udpPorts:    tcp.NewPortAlloc(),
+		iss:         tcp.Seq(30000 + 7919*uint32(ip[3])), // per-host ISS sequence
+		owned:       tcp.NewTable(),
+		conns:       make(map[*tcp.Conn]*hsConn),
+		listeners:   make(map[uint16]*listener),
+		transferred: make(map[tcp.FourTuple]*netio.Channel),
+		udpChannels: make(map[uint16]*netio.Channel),
+	}
+	r.dom = r.host.NewDomain("registry", true)
+	r.lock = s.NewSemaphore("registry-engine", 1)
+	r.Svc = kern.NewPort(r.host, "registry")
+	r.rxq = sim.NewQueue[*pkt.Buf](s)
+	mod.SetDefaultHandler(func(b *pkt.Buf) {
+		if r.rxq.Len() == 0 {
+			r.host.ComputeAsync(r.host.Cost.KernelWakeup, nil)
+		}
+		r.rxq.Push(b)
+	})
+	r.dom.Spawn("service", r.serviceLoop)
+	r.dom.Spawn("input", r.inputLoop)
+	r.dom.Spawn("tcp-fast", r.fastTimer)
+	r.dom.Spawn("tcp-slow", r.slowTimer)
+	return r
+}
+
+// Netif exposes the registry's interface wiring (the library builds its
+// data-path frames from the same parameters).
+func (r *Server) Netif() *stacks.Netif { return r.nif }
+
+// Host returns the host the registry serves.
+func (r *Server) Host() *kern.Host { return r.host }
+
+func (r *Server) nextISS() tcp.Seq {
+	r.iss += 64021
+	return r.iss
+}
+
+// ---------------------------------------------------------------------------
+// Service loop: requests from libraries
+// ---------------------------------------------------------------------------
+
+func (r *Server) serviceLoop(t *kern.Thread) {
+	for {
+		m := r.Svc.Receive(t)
+		switch req := m.Body.(type) {
+		case ConnectReq:
+			r.handleConnect(t, m, req)
+		case ListenReq:
+			r.handleListen(t, m, req)
+		case UnlistenReq:
+			r.handleUnlisten(t, m, req)
+		case InheritReq:
+			r.handleInherit(t, req)
+		case TeardownReq:
+			r.handleTeardown(t, req)
+		case BindUDPReq:
+			r.handleBindUDP(t, m, req)
+		case ResolveReq:
+			r.handleResolve(t, m, req)
+		case UDPSendReq:
+			r.handleUDPSend(t, m, req)
+		case UnbindUDPReq:
+			r.handleUnbindUDP(t, req)
+		}
+	}
+}
+
+// handleConnect performs the active open on the library's behalf.
+func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
+	c := t.Cost()
+	t.Compute(c.RegistryPortAlloc + c.RegistryConnSetup)
+	local := tcp.Endpoint{IP: r.nif.IP, Port: r.ports.Ephemeral()}
+
+	// On the AN1 the BQI is reserved before the SYN leaves so it can ride
+	// the link header: "before initiating connection the server requests
+	// the network I/O module for a BQI that the remote node can use." The
+	// channel itself — and on Ethernet the software demultiplexing binding
+	// — is activated as establishment completes, so handshake segments
+	// reach the registry's default path.
+	hc := &hsConn{opts: req.Opts, reply: m.Reply}
+	if r.nif.IsAN1() {
+		t.Compute(t.Cost().BQIReserve)
+		bqi, err := r.nif.Mod.ReserveBQI(r.dom)
+		if err != nil {
+			m.ReplyTo(t, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
+			return
+		}
+		hc.ourBQI = bqi
+	}
+	cfg := r.tcpConfig(req.Opts)
+	tc := tcp.NewConn(cfg, local, req.Remote, tcp.Callbacks{})
+	hc.tc = tc
+	r.attach(tc, hc)
+	if err := r.owned.Insert(tc); err != nil {
+		m.ReplyTo(t, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
+		return
+	}
+	r.runEngine(t, func() { tc.OpenActive(r.nextISS()) })
+	// The reply is sent by the established/closed callbacks.
+}
+
+// handleListen registers a passive endpoint.
+func (r *Server) handleListen(t *kern.Thread, m kern.Msg, req ListenReq) {
+	c := t.Cost()
+	t.Compute(c.RegistryPortAlloc)
+	if !r.ports.Reserve(req.Port) {
+		m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: stacks.ErrPortInUse})
+		return
+	}
+	r.listeners[req.Port] = &listener{port: req.Port, opts: req.Opts, accept: req.AcceptPort}
+	m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: nil})
+}
+
+func (r *Server) handleUnlisten(t *kern.Thread, m kern.Msg, req UnlistenReq) {
+	delete(r.listeners, req.Port)
+	r.ports.Release(req.Port)
+	if m.Reply != nil {
+		m.ReplyTo(t, kern.Msg{Op: "unlisten-ack"})
+	}
+}
+
+// handleTeardown reclaims the channel and port of a closed connection.
+func (r *Server) handleTeardown(t *kern.Thread, req TeardownReq) {
+	if req.Cap != nil {
+		_ = r.nif.Mod.DestroyChannel(r.dom, req.Cap)
+	}
+	delete(r.transferred, tcp.FourTuple{Local: req.Local, Peer: req.Peer})
+	r.ports.Release(req.Local.Port)
+}
+
+// handleInherit takes a connection back from an exiting application.
+func (r *Server) handleInherit(t *kern.Thread, req InheritReq) {
+	c := t.Cost()
+	t.Compute(c.StateTransfer)
+	if req.Cap != nil {
+		_ = r.nif.Mod.DestroyChannel(r.dom, req.Cap)
+	}
+	delete(r.transferred, tcp.FourTuple{Local: req.Snap.Local, Peer: req.Snap.Peer})
+	hc := &hsConn{peerHW: req.PeerHW, peerBQI: req.PeerBQI}
+	tc := tcp.Restore(req.Snap, tcp.Callbacks{})
+	hc.tc = tc
+	r.attach(tc, hc)
+	if tc.State() != tcp.Closed {
+		if err := r.owned.Insert(tc); err != nil {
+			return
+		}
+	}
+	if req.Abort {
+		// "To guard against an abnormal application termination, the
+		// protocol server issues a reset message to the remote peer."
+		r.runEngine(t, func() { tc.Abort() })
+		return
+	}
+	// Orderly inheritance: close if the application had not, and drive the
+	// remaining states (FIN exchange, TIME_WAIT) from the registry.
+	r.runEngine(t, func() { tc.Close() })
+}
+
+// ---------------------------------------------------------------------------
+// Channel setup and handoff
+// ---------------------------------------------------------------------------
+
+// tcpConfig mirrors the library's configuration so handshake state is
+// directly transferable.
+func (r *Server) tcpConfig(opts stacks.Options) tcp.Config {
+	return tcp.Config{
+		MSS:            r.nif.MSS(),
+		SndBufSize:     opts.SndBuf,
+		RcvBufSize:     opts.RcvBuf,
+		Headroom:       r.nif.Headroom(),
+		NoDelay:        opts.NoDelay,
+		NoDelayedAck:   opts.NoDelayedAck,
+		FastRetransmit: true,
+	}
+}
+
+// setupChannel creates the shared region, ring, capability, template and
+// demux binding for an endpoint ("nearly 3.4 ms are spent in setting up
+// user channels to the network device").
+func (r *Server) setupChannel(t *kern.Thread, hc *hsConn, local, remote tcp.Endpoint) error {
+	c := t.Cost()
+	t.Compute(c.ChannelSetup)
+	spec := filter.Spec{
+		LinkHdrLen: r.nif.Mod.Device().HdrLen(),
+		Proto:      ipv4.ProtoTCP,
+		LocalIP:    local.IP, LocalPort: local.Port,
+		RemoteIP: remote.IP, RemotePort: remote.Port,
+	}
+	tmpl := netio.Template{
+		LinkSrc: r.nif.HW, Type: link.TypeIPv4,
+		Proto:   ipv4.ProtoTCP,
+		LocalIP: local.IP, LocalPort: local.Port,
+		RemoteIP: remote.IP, RemotePort: remote.Port,
+	}
+	cap, ch, err := r.nif.Mod.CreateChannelBQI(r.dom, spec, tmpl, 32, hc.ourBQI)
+	if err != nil {
+		return err
+	}
+	hc.ourCap, hc.ourCh = cap, ch
+	return nil
+}
+
+// attach wires the registry-side callbacks for a pcb it owns.
+func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
+	r.conns[tc] = hc
+	tc.SetCallbacks(tcp.Callbacks{
+		Send: func(seg *pkt.Buf, h tcp.Header, pl int) {
+			r.transmit(seg, tc, hc, h)
+		},
+		OnEstablished: func() { r.established(tc, hc) },
+		OnClosed: func(err error) {
+			r.owned.Remove(tc)
+			delete(r.conns, tc)
+			r.ports.Release(tc.Local().Port)
+			if hc.reply != nil {
+				// Handshake failed before handoff.
+				if hc.ourCap != nil {
+					_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+				}
+				hc.reply.SendAsync(kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
+				hc.reply = nil
+			}
+		},
+	})
+}
+
+// transmit is the registry's un-optimized send path.
+func (r *Server) transmit(seg *pkt.Buf, tc *tcp.Conn, hc *hsConn, h tcp.Header) {
+	t := r.cur
+	if t == nil {
+		panic("registry: engine transmit outside runEngine")
+	}
+	c := t.Cost()
+	t.Compute(c.RegistrySendPath)
+	t.Compute(stacks.SegCost(r.host, seg.Len(), false))
+	r.nif.WrapIP(seg, ipv4.ProtoTCP, tc.Peer().IP)
+	// Handshake segments advertise our data-phase BQI in the link header
+	// but are themselves addressed to the peer's protected kernel queue
+	// (BQI zero): only data-phase traffic uses the negotiated rings.
+	r.resolveAndSend(t, seg, tc.Peer().IP, 0, hc.ourBQI)
+}
+
+// resolveAndSend frames with BQI fields and transmits via the kernel path.
+func (r *Server) resolveAndSend(t *kern.Thread, ippkt *pkt.Buf, dst ipv4.Addr, dstBQI, advBQI uint16) {
+	if !r.nif.IsAN1() {
+		r.nif.Resolve(t, ippkt, dst, 0, r.nif.Mod.SendKernel)
+		return
+	}
+	hw, ok := r.nif.ARP.Lookup(0, dst)
+	if !ok {
+		// Resolve handles the ARP exchange; BQI fields stay zero for the
+		// queued copy, which is correct for handshake traffic.
+		r.nif.Resolve(t, ippkt, dst, 0, r.nif.Mod.SendKernel)
+		return
+	}
+	h := link.AN1Header{Dst: hw, Src: r.nif.HW, BQI: dstBQI, AdvBQI: advBQI, Type: link.TypeIPv4}
+	h.Encode(ippkt)
+	r.nif.Mod.SendKernel(t, ippkt)
+}
+
+// established completes setup: narrow the template to the negotiated peer,
+// transfer the state to the library, and route future default-path strays.
+func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
+	t := r.cur
+	c := t.Cost()
+	// On Ethernet the channel and its demultiplexing binding are created
+	// now, as establishment completes.
+	if hc.ourCap == nil {
+		if err := r.setupChannel(t, hc, tc.Local(), tc.Peer()); err != nil {
+			return
+		}
+	}
+	// Narrow the template now that the peer link address is known.
+	if hw, ok := r.nif.ARP.Lookup(r.nifNow(), tc.Peer().IP); ok {
+		hc.peerHW = hw
+	}
+	tmpl := netio.Template{
+		LinkSrc: r.nif.HW, LinkDst: hc.peerHW, Type: link.TypeIPv4,
+		Proto:   ipv4.ProtoTCP,
+		LocalIP: tc.Local().IP, LocalPort: tc.Local().Port,
+		RemoteIP: tc.Peer().IP, RemotePort: tc.Peer().Port,
+	}
+	_ = r.nif.Mod.UpdateTemplate(r.dom, hc.ourCap, tmpl)
+
+	// Transfer TCP state to user level.
+	t.Compute(c.StateTransfer)
+	snap := tc.Snapshot()
+	r.owned.Remove(tc)
+	delete(r.conns, tc)
+	r.transferred[tcp.FourTuple{Local: tc.Local(), Peer: tc.Peer()}] = hc.ourCh
+
+	ho := Handoff{
+		Snap:    snap,
+		Cap:     hc.ourCap,
+		Channel: hc.ourCh,
+		PeerHW:  hc.peerHW,
+		PeerBQI: hc.peerBQI,
+	}
+	if hc.reply != nil {
+		hc.reply.SendAsync(kern.Msg{Op: "handoff", Body: ho, Size: snap.Size()})
+		hc.reply = nil
+	} else if hc.l != nil {
+		hc.l.accept.SendAsync(kern.Msg{Op: "handoff", Body: ho, Size: snap.Size()})
+	}
+}
+
+func (r *Server) nifNow() uint64 {
+	return uint64(time.Duration(r.host.S.Now()) / (500 * time.Millisecond))
+}
+
+func (r *Server) runEngine(t *kern.Thread, fn func()) {
+	r.lock.P(t.Proc)
+	r.cur = t
+	fn()
+	r.cur = nil
+	r.lock.V()
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated thread of control: a goroutine that the engine runs
+// one-at-a-time. Code inside a proc may block using the proc's primitives
+// (Sleep, Semaphore.P, Queue.Pop, ...); blocking hands control back to the
+// engine, which advances virtual time and resumes whichever proc or event
+// is next.
+type Proc struct {
+	s    *Sim
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Name returns the debug name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the proc belongs to.
+func (p *Proc) Sim() *Sim { return p.s }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Spawn starts fn as a new proc at the current virtual time. fn begins
+// executing when the engine reaches the spawn event; Spawn itself returns
+// immediately.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter starts fn as a new proc d from now.
+func (s *Sim) SpawnAfter(d Dur, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{s: s, name: name, wake: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.wake // wait for first resume
+		fn(p)
+		p.done = true
+		s.nprocs--
+		s.parked <- struct{}{} // final park: return control to engine
+	}()
+	s.After(d, func() { s.resume(p) })
+	return p
+}
+
+// resume transfers control from the engine (or the currently running event
+// callback) to p, and blocks until p parks again. It must only be called
+// from engine context (an event callback), never from inside another proc.
+func (s *Sim) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := s.current
+	s.current = p
+	p.wake <- struct{}{}
+	<-s.parked
+	s.current = prev
+}
+
+// park returns control to the engine and blocks the proc until it is next
+// resumed.
+func (p *Proc) park() {
+	p.s.parked <- struct{}{}
+	<-p.wake
+}
+
+// ensureCurrent panics if called from outside the running proc; the blocking
+// primitives require proc context.
+func (p *Proc) ensureCurrent() {
+	if p.s.current != p {
+		panic(fmt.Sprintf("sim: blocking call on proc %q from outside its own context", p.name))
+	}
+}
+
+// Sleep blocks the proc for d of virtual time.
+func (p *Proc) Sleep(d Dur) {
+	p.ensureCurrent()
+	if d < 0 {
+		d = 0
+	}
+	p.s.After(d, func() { p.s.resume(p) })
+	p.park()
+}
+
+// SleepUntil blocks the proc until absolute time at (no-op if at <= now).
+func (p *Proc) SleepUntil(at Time) {
+	if at <= p.s.now {
+		return
+	}
+	p.Sleep(at.Sub(p.s.now))
+}
+
+// Yield reschedules the proc at the current time behind already-pending
+// events, letting same-time work interleave.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,192 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock (nanosecond resolution) and an event heap
+// ordered by (time, sequence). Simulated threads of control ("procs") are
+// ordinary goroutines that the engine runs strictly one at a time: the engine
+// resumes a proc and then blocks until the proc parks again (by sleeping,
+// waiting on a semaphore, popping an empty queue, and so on). This yields
+// fully sequential semantics — protocol and application code can be written
+// in a natural blocking style with no data races and no wall-clock
+// dependence — while the (time, seq) ordering makes every run reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Dur is a span of virtual time. It aliases time.Duration so callers can use
+// the familiar constants (time.Millisecond etc.) without importing anything
+// extra.
+type Dur = time.Duration
+
+// String formats a Time using time.Duration notation (e.g. "1.5ms").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d Dur) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Dur { return Dur(t - u) }
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance. It is not safe for concurrent
+// use from multiple OS threads; all interaction happens either before Run,
+// from within event callbacks, or from within procs (which the engine
+// serializes).
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{} // proc -> engine: "I have parked"
+	current *Proc
+	nprocs  int // live procs (started, not yet finished)
+	stopped bool
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ e *event }
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or already cancelled timer is a no-op. It reports whether the
+// callback was still pending.
+func (t Timer) Cancel() bool {
+	if t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// Pending reports whether the timer's callback has yet to run.
+func (t Timer) Pending() bool { return t.e != nil && !t.e.dead }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (s *Sim) At(at Time, fn func()) Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return Timer{e}
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Dur, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop terminates the run loop after the current event or proc step
+// completes. Pending events are discarded.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the heap is empty, the time limit is exceeded,
+// or Stop is called. A limit of 0 means no limit. It returns the virtual
+// time at which the run ended.
+//
+// Procs that are still blocked when Run returns remain parked; a subsequent
+// Run continues the simulation.
+func (s *Sim) Run(limit Dur) Time {
+	end := Time(1<<62 - 1)
+	if limit > 0 {
+		end = s.now.Add(limit)
+	}
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > end {
+			s.now = end
+			break
+		}
+		heap.Pop(&s.events)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil executes events until pred() returns true (checked after every
+// event), the heap drains, or the time limit passes.
+func (s *Sim) RunUntil(limit Dur, pred func() bool) Time {
+	end := Time(1<<62 - 1)
+	if limit > 0 {
+		end = s.now.Add(limit)
+	}
+	s.stopped = false
+	for !s.stopped && !pred() && len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > end {
+			s.now = end
+			break
+		}
+		heap.Pop(&s.events)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// Idle reports whether no events remain.
+func (s *Sim) Idle() bool { return len(s.events) == 0 }
+
+// Procs returns the number of procs that have been started and have not yet
+// returned.
+func (s *Sim) Procs() int { return s.nprocs }

@@ -1,0 +1,186 @@
+package stacks
+
+import (
+	"fmt"
+	"time"
+
+	"ulp/internal/arp"
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netdev"
+	"ulp/internal/netio"
+	"ulp/internal/pkt"
+	"ulp/internal/sim"
+)
+
+// Netif wires an IP address to a network I/O module: IP encapsulation and
+// fragmentation/reassembly, ARP resolution with a pending queue, and link
+// framing for either device type. All organizations share it; only the
+// transmit entry (kernel path vs capability path) differs.
+type Netif struct {
+	Mod *netio.Module
+	IP  ipv4.Addr
+	HW  link.Addr
+	ids ipv4.IDGen
+	ARP *arp.Cache
+	Rsm *ipv4.Reassembler
+	an1 bool
+	sim *sim.Sim
+}
+
+// NewNetif builds the interface wiring for a module.
+func NewNetif(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Netif {
+	_, an1 := mod.Device().(*netdev.AN1)
+	return &Netif{
+		Mod: mod,
+		IP:  ip,
+		HW:  mod.Device().Addr(),
+		ARP: arp.NewCache(mod.Device().Addr(), ip, 1200), // 10 min at 500 ms ticks
+		Rsm: ipv4.NewReassembler(60),                     // 30 s at 500 ms ticks
+		an1: an1,
+		sim: s,
+	}
+}
+
+// IsAN1 reports whether the underlying device demultiplexes in hardware.
+func (n *Netif) IsAN1() bool { return n.an1 }
+
+// MSS returns the TCP maximum segment size for this link.
+func (n *Netif) MSS() int { return n.Mod.Device().MTU() - ipv4.HeaderLen - 20 }
+
+// Headroom returns the buffer headroom needed below the TCP/UDP header.
+func (n *Netif) Headroom() int { return n.Mod.Device().HdrLen() + ipv4.HeaderLen }
+
+// now returns the ARP/reassembly coarse clock (500 ms units).
+func (n *Netif) now() uint64 {
+	return uint64(time.Duration(n.sim.Now()) / (500 * time.Millisecond))
+}
+
+// WrapIP prepends the IP header onto a transport segment. The caller then
+// frames and transmits it (possibly after ARP).
+func (n *Netif) WrapIP(seg *pkt.Buf, proto uint8, dst ipv4.Addr) {
+	h := ipv4.Header{
+		ID: n.ids.Next(), DF: true, TTL: 64,
+		Proto: proto, Src: n.IP, Dst: dst,
+	}
+	h.Encode(seg)
+}
+
+// WrapIPFragments encapsulates a datagram that may exceed the MTU (UDP
+// path), returning ready-to-frame IP packets.
+func (n *Netif) WrapIPFragments(payload *pkt.Buf, proto uint8, dst ipv4.Addr) ([]*pkt.Buf, error) {
+	h := ipv4.Header{
+		ID: n.ids.Next(), TTL: 64,
+		Proto: proto, Src: n.IP, Dst: dst,
+	}
+	return ipv4.Fragment(h, payload, n.Mod.Device().MTU(), n.Mod.Device().HdrLen())
+}
+
+// Frame prepends the link header for a resolved destination. bqi is the
+// peer's negotiated buffer queue index (AN1 only; 0 = kernel default).
+func (n *Netif) Frame(ippkt *pkt.Buf, dstHW link.Addr, bqi uint16) {
+	if n.an1 {
+		h := link.AN1Header{Dst: dstHW, Src: n.HW, BQI: bqi, Type: link.TypeIPv4}
+		h.Encode(ippkt)
+	} else {
+		h := link.EthHeader{Dst: dstHW, Src: n.HW, Type: link.TypeIPv4}
+		h.Encode(ippkt)
+	}
+}
+
+// Transmit is the trusted (kernel/server mapped-device) transmit path.
+type Transmit func(t *kern.Thread, frame *pkt.Buf)
+
+// Resolve sends ippkt to dst, resolving dst's link address first if needed:
+// a cache hit frames and transmits immediately; a miss queues the packet
+// and broadcasts an ARP request via tx.
+func (n *Netif) Resolve(t *kern.Thread, ippkt *pkt.Buf, dst ipv4.Addr, bqi uint16, tx Transmit) {
+	if !ipv4.SameSubnet(n.IP, dst) {
+		// No gateway functions (paper): off-subnet traffic is dropped.
+		return
+	}
+	if hw, ok := n.ARP.Lookup(n.now(), dst); ok {
+		n.Frame(ippkt, hw, bqi)
+		tx(t, ippkt)
+		return
+	}
+	ippkt.Meta.BQI = bqi // remember for transmission after resolution
+	if n.ARP.Enqueue(dst, ippkt) {
+		req := n.ARP.MakeRequest(dst)
+		n.txARP(t, req, link.Broadcast, tx)
+	}
+}
+
+// txARP frames and transmits an ARP packet.
+func (n *Netif) txARP(t *kern.Thread, p arp.Packet, dstHW link.Addr, tx Transmit) {
+	b := p.Encode(n.Mod.Device().HdrLen())
+	if n.an1 {
+		h := link.AN1Header{Dst: dstHW, Src: n.HW, BQI: 0, Type: link.TypeARP}
+		h.Encode(b)
+	} else {
+		h := link.EthHeader{Dst: dstHW, Src: n.HW, Type: link.TypeARP}
+		h.Encode(b)
+	}
+	tx(t, b)
+}
+
+// InputARP processes a received ARP packet (kernel side in every
+// organization), replying and flushing newly deliverable queued packets.
+func (n *Netif) InputARP(t *kern.Thread, b *pkt.Buf, tx Transmit) {
+	p, err := arp.Decode(b)
+	if err != nil {
+		return
+	}
+	reply, released := n.ARP.Input(n.now(), p)
+	if reply != nil {
+		n.txARP(t, *reply, p.SenderHW, tx)
+	}
+	for _, q := range released {
+		hw, _ := n.ARP.Lookup(n.now(), p.SenderIP)
+		n.Frame(q, hw, q.Meta.BQI)
+		tx(t, q)
+	}
+}
+
+// StripLink removes and returns the link-level type of an inbound frame.
+func (n *Netif) StripLink(b *pkt.Buf) (link.EtherType, error) {
+	if n.an1 {
+		h, err := link.DecodeAN1(b)
+		if err != nil {
+			return 0, err
+		}
+		return h.Type, nil
+	}
+	h, err := link.DecodeEth(b)
+	if err != nil {
+		return 0, err
+	}
+	return h.Type, nil
+}
+
+// InputIP decodes an inbound IP packet addressed to this host, reassembling
+// fragments. It returns (header, payload bytes, true) when a complete
+// datagram for us is available.
+func (n *Netif) InputIP(b *pkt.Buf) (ipv4.Header, []byte, bool) {
+	h, err := ipv4.Decode(b)
+	if err != nil {
+		return ipv4.Header{}, nil, false
+	}
+	if h.Dst != n.IP {
+		return ipv4.Header{}, nil, false // not ours; no forwarding
+	}
+	if h.MF || h.FragOff > 0 {
+		hh, data, done := n.Rsm.Insert(n.now(), h, b.Bytes())
+		if !done {
+			return ipv4.Header{}, nil, false
+		}
+		return hh, data, true
+	}
+	return h, b.Bytes(), true
+}
+
+// String identifies the interface for diagnostics.
+func (n *Netif) String() string {
+	return fmt.Sprintf("%s(%s,%s)", n.Mod.Device().Name(), n.IP, n.HW)
+}

@@ -1,0 +1,382 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+
+	"ulp/internal/pkt"
+)
+
+// State is a TCP connection state (RFC 793).
+type State int
+
+// Connection states.
+const (
+	Closed State = iota
+	Listen
+	SynSent
+	SynRcvd
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	Closing
+	LastAck
+	TimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Errors delivered through OnClosed.
+var (
+	ErrReset     = errors.New("tcp: connection reset by peer")
+	ErrRefused   = errors.New("tcp: connection refused")
+	ErrTimeout   = errors.New("tcp: retransmission timeout")
+	ErrKeepalive = errors.New("tcp: keepalive timeout")
+)
+
+// Default configuration values (4.3BSD).
+const (
+	DefaultMSS     = 512
+	DefaultBufSize = 8192
+	MaxWindow      = 65535
+
+	// Timer constants in slow-timeout ticks (500 ms each).
+	minRexmtTicks = 2   // 1 s
+	maxRexmtTicks = 128 // 64 s
+	maxRexmtShift = 12  // give up after 12 backoffs
+	mslTicks      = 60  // MSL = 30 s
+	persistMin    = 10  // 5 s
+	persistMax    = 120 // 60 s
+	keepIdleDflt  = 120 // probe after 60 s idle (shortened from BSD's 2h for simulation)
+	keepMaxProbes = 8
+)
+
+// Config parameterizes a connection. The zero value is completed with
+// 4.3BSD defaults by NewConn. The application-specific variant flags
+// (NoDelay, NoDelayedAck) realize the paper's §5 "canned options" idea.
+type Config struct {
+	// MSS is the maximum segment size to advertise and the ceiling on what
+	// we accept from the peer's option.
+	MSS int
+	// SndBufSize and RcvBufSize are the socket buffer sizes (8192, the
+	// era's tuned BSD default).
+	SndBufSize, RcvBufSize int
+	// Headroom is reserved below the TCP header in output buffers for the
+	// IP and link headers.
+	Headroom int
+	// NoDelay disables the Nagle algorithm.
+	NoDelay bool
+	// NoDelayedAck acknowledges every in-order segment immediately.
+	NoDelayedAck bool
+	// FastRetransmit enables the 3-dup-ack retransmission (4.3BSD-Tahoe).
+	FastRetransmit bool
+	// Reno additionally enables fast recovery (cwnd deflation instead of a
+	// full slow start after a fast retransmit).
+	Reno bool
+	// KeepAliveTicks is the idle period before probing; 0 disables
+	// keepalives.
+	KeepAliveTicks int
+	// TimeWaitTicks overrides the 2*MSL wait (0 = standard 120 ticks).
+	TimeWaitTicks int
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = DefaultMSS
+	}
+	if c.SndBufSize == 0 {
+		c.SndBufSize = DefaultBufSize
+	}
+	if c.RcvBufSize == 0 {
+		c.RcvBufSize = DefaultBufSize
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 40
+	}
+	if c.TimeWaitTicks == 0 {
+		c.TimeWaitTicks = 2 * mslTicks
+	}
+}
+
+// Callbacks deliver engine events to the organization shell. All callbacks
+// are optional. They are invoked synchronously from within engine calls;
+// shells must not re-enter the engine from them (they queue work instead).
+type Callbacks struct {
+	// Send transmits a fully encoded TCP segment (checksummed, with
+	// Headroom bytes reserved below it). h describes the segment;
+	// payloadLen is the number of stream bytes it carries.
+	Send func(seg *pkt.Buf, h Header, payloadLen int)
+	// OnEstablished fires on transition into Established.
+	OnEstablished func()
+	// OnReadable fires when new in-order data or EOF becomes available.
+	OnReadable func()
+	// OnWritable fires when send-buffer space is freed by an ACK.
+	OnWritable func()
+	// OnClosed fires when the connection reaches Closed; err is nil for an
+	// orderly release.
+	OnClosed func(err error)
+}
+
+// Stats counts per-connection protocol events.
+type Stats struct {
+	SegsSent, SegsRcvd    int
+	BytesSent, BytesRcvd  int64
+	Rexmits, FastRexmits  int
+	DupAcksRcvd           int
+	OutOfOrder            int
+	DelayedAcks, AcksSent int
+	WindowProbes          int
+	KeepProbes            int
+	BadChecksumOrTrim     int
+	TimerOps              int // set/clear operations, for cost charging
+	RTTSamples            int
+	SndBufFullEvents      int
+}
+
+// Conn is one TCP connection ("protocol control block" plus socket
+// buffers). It is pure: driven entirely by Input, user calls, and ticks.
+type Conn struct {
+	cfg   Config
+	cb    Callbacks
+	local Endpoint
+	peer  Endpoint
+
+	state State
+	stats Stats
+
+	// Send sequence space.
+	iss                    Seq
+	sndUna, sndNxt, sndMax Seq
+	sndWnd                 int
+	sndWl1, sndWl2         Seq
+	maxSndWnd              int
+	cwnd, ssthresh         int
+	dupAcks                int
+
+	// Receive sequence space.
+	irs            Seq
+	rcvNxt, rcvAdv Seq
+
+	// Buffers.
+	snd *sendBuf
+	rcv *recvBuf
+
+	// Effective MSS for sending (min of ours and peer's option).
+	sndMSS int
+
+	// FIN bookkeeping.
+	sndClosed  bool // application called Close: no more writes
+	finSeq     Seq  // sequence of our FIN, valid once allocated
+	finQueued  bool
+	rcvFinSeq  Seq // sequence of peer's FIN, valid if rcvFinSeen
+	rcvFinSeen bool
+	rcvEOF     bool // FIN consumed into the stream
+
+	// Timers, in slow-timeout ticks; 0 = off.
+	tRexmt, tPersist, tKeep, t2MSL int
+	rxtShift                       int
+	persistShift                   int
+	keepProbes                     int
+
+	// RTT estimation (fixed point: srtt<<3, rttvar<<2), in ticks.
+	tRtt   int // running measurement; 0 = not timing
+	tRtseq Seq
+	srtt   int
+	rttvar int
+	rxtCur int
+
+	// Output flags.
+	ackNow bool
+	delAck bool
+	idleT  int // ticks since last receive (keepalive)
+
+	closedErr  error
+	closedOnce bool
+}
+
+// NewConn creates a connection in the Closed state.
+func NewConn(cfg Config, local, peer Endpoint, cb Callbacks) *Conn {
+	cfg.fill()
+	c := &Conn{
+		cfg:    cfg,
+		cb:     cb,
+		local:  local,
+		peer:   peer,
+		state:  Closed,
+		snd:    newSendBuf(cfg.SndBufSize),
+		rcv:    newRecvBuf(cfg.RcvBufSize),
+		sndMSS: cfg.MSS,
+		rxtCur: 6, // 3 s initial RTO, per BSD TCPTV_SRTTDFLT handling
+	}
+	return c
+}
+
+// State returns the current connection state.
+func (c *Conn) State() State { return c.state }
+
+// SetCallbacks replaces the connection's callbacks; organization shells use
+// it to finish wiring a connection after construction (e.g. to hook accept
+// queues). It must not be called with engine activity in flight.
+func (c *Conn) SetCallbacks(cb Callbacks) { c.cb = cb }
+
+// Callbacks returns the currently installed callbacks, letting shells wrap
+// them.
+func (c *Conn) Callbacks() Callbacks { return c.cb }
+
+// Stats returns a copy of the connection's counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Local and Peer return the connection endpoints.
+func (c *Conn) Local() Endpoint { return c.local }
+func (c *Conn) Peer() Endpoint  { return c.peer }
+
+// EffectiveMSS returns the negotiated maximum segment size.
+func (c *Conn) EffectiveMSS() int { return c.sndMSS }
+
+// setState transitions and fires notifications.
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	prev := c.state
+	c.state = s
+	switch s {
+	case Established:
+		if c.cfg.KeepAliveTicks > 0 {
+			c.setTimer(&c.tKeep, c.cfg.KeepAliveTicks)
+		}
+		if c.cb.OnEstablished != nil && prev != Established {
+			c.cb.OnEstablished()
+		}
+	case Closed:
+		c.cancelTimers()
+		if !c.closedOnce {
+			c.closedOnce = true
+			if c.cb.OnClosed != nil {
+				c.cb.OnClosed(c.closedErr)
+			}
+		}
+	}
+}
+
+// OpenListen places the connection in LISTEN (passive open).
+func (c *Conn) OpenListen() {
+	if c.state != Closed {
+		panic("tcp: OpenListen on non-closed connection")
+	}
+	c.setState(Listen)
+}
+
+// OpenActive starts a connection attempt (active open) with the given
+// initial send sequence number; the shell supplies ISS to keep runs
+// deterministic.
+func (c *Conn) OpenActive(iss Seq) {
+	if c.state != Closed {
+		panic("tcp: OpenActive on non-closed connection")
+	}
+	c.iss = iss
+	c.sndUna, c.sndNxt, c.sndMax = iss, iss, iss
+	c.snd.start = iss.Add(1) // first data byte follows the SYN
+	c.cwnd = c.sndMSS
+	c.ssthresh = MaxWindow
+	c.setState(SynSent)
+	c.startRexmt()
+	c.Output()
+}
+
+// Write appends application data to the send buffer and attempts output.
+// It returns the number of bytes accepted (0 when the buffer is full).
+func (c *Conn) Write(p []byte) int {
+	switch c.state {
+	case Established, CloseWait:
+	case SynSent, SynRcvd:
+		// Data may be buffered before the handshake completes.
+	default:
+		return 0
+	}
+	if c.sndClosed {
+		return 0
+	}
+	n := c.snd.append(p)
+	if n < len(p) {
+		c.stats.SndBufFullEvents++
+	}
+	if n > 0 {
+		c.Output()
+	}
+	return n
+}
+
+// Readable returns the number of in-order bytes ready for the application.
+func (c *Conn) Readable() int { return c.rcv.readable() }
+
+// EOF reports whether the peer's FIN has been consumed (end of stream).
+func (c *Conn) EOF() bool { return c.rcvEOF && c.rcv.readable() == 0 }
+
+// Read moves up to len(p) bytes into p. Freeing receive-buffer space may
+// trigger a window-update segment.
+func (c *Conn) Read(p []byte) int {
+	n := c.rcv.read(p)
+	if n > 0 {
+		// Receiver-side silly window avoidance lives in Output: it decides
+		// whether the window opened enough to advertise.
+		c.Output()
+	}
+	return n
+}
+
+// Close performs an orderly release: no further writes; a FIN is sent once
+// buffered data drains.
+func (c *Conn) Close() {
+	switch c.state {
+	case Closed:
+		return
+	case Listen, SynSent:
+		c.closedErr = nil
+		c.setState(Closed)
+		return
+	}
+	if c.sndClosed {
+		return
+	}
+	c.sndClosed = true
+	switch c.state {
+	case SynRcvd, Established:
+		c.setState(FinWait1)
+	case CloseWait:
+		c.setState(LastAck)
+	}
+	c.Output()
+}
+
+// Abort sends RST and closes immediately (abnormal termination; the
+// registry uses this for applications that exit without closing).
+func (c *Conn) Abort() {
+	switch c.state {
+	case SynRcvd, Established, FinWait1, FinWait2, CloseWait, Closing, LastAck:
+		c.sendRST()
+	}
+	c.closedErr = ErrReset
+	c.setState(Closed)
+}
+
+// cancelTimers clears all timers (entering Closed).
+func (c *Conn) cancelTimers() {
+	for _, t := range []*int{&c.tRexmt, &c.tPersist, &c.tKeep, &c.t2MSL} {
+		if *t != 0 {
+			*t = 0
+			c.stats.TimerOps++
+		}
+	}
+}

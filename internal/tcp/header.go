@@ -1,0 +1,147 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ulp/internal/checksum"
+	"ulp/internal/ipv4"
+	"ulp/internal/pkt"
+)
+
+// HeaderLen is the size of a TCP header without options.
+const HeaderLen = 20
+
+// Flag bits.
+const (
+	FlagFIN = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Endpoint is one end of a connection.
+type Endpoint struct {
+	IP   ipv4.Addr
+	Port uint16
+}
+
+// String formats the endpoint as ip:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
+
+// Header is a decoded TCP header. The only option this stack emits or
+// honours is MSS (option kind 2), as in the 4.3BSD code the paper reused;
+// other received options are skipped.
+type Header struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         Seq
+	Flags            uint8
+	Window           uint16
+	Urgent           uint16
+	// MSS is the maximum-segment-size option value; 0 means absent. Only
+	// meaningful on SYN segments.
+	MSS uint16
+}
+
+// optLen returns the encoded options length.
+func (h *Header) optLen() int {
+	if h.MSS != 0 {
+		return 4
+	}
+	return 0
+}
+
+// EncodedLen returns the full header length including options.
+func (h *Header) EncodedLen() int { return HeaderLen + h.optLen() }
+
+// flagNames renders flags for diagnostics.
+func flagNames(f uint8) string {
+	s := ""
+	for _, fn := range []struct {
+		bit  uint8
+		name string
+	}{{FlagSYN, "S"}, {FlagFIN, "F"}, {FlagRST, "R"}, {FlagPSH, "P"}, {FlagACK, "."}, {FlagURG, "U"}} {
+		if f&fn.bit != 0 {
+			s += fn.name
+		}
+	}
+	return s
+}
+
+// String formats the header compactly, tcpdump-style.
+func (h Header) String() string {
+	return fmt.Sprintf("%d>%d %s seq=%d ack=%d win=%d", h.SrcPort, h.DstPort, flagNames(h.Flags), h.Seq, h.Ack, h.Window)
+}
+
+// Encode prepends the header onto the payload in b and computes the
+// checksum over the pseudo-header, header and payload.
+func (h *Header) Encode(b *pkt.Buf, src, dst ipv4.Addr) {
+	hl := h.EncodedLen()
+	segLen := hl + b.Len()
+	w := b.Prepend(hl)
+	binary.BigEndian.PutUint16(w[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(w[2:], h.DstPort)
+	binary.BigEndian.PutUint32(w[4:], uint32(h.Seq))
+	binary.BigEndian.PutUint32(w[8:], uint32(h.Ack))
+	w[12] = uint8(hl/4) << 4
+	w[13] = h.Flags
+	binary.BigEndian.PutUint16(w[14:], h.Window)
+	w[16], w[17] = 0, 0 // checksum
+	binary.BigEndian.PutUint16(w[18:], h.Urgent)
+	if h.MSS != 0 {
+		w[20] = 2 // kind: MSS
+		w[21] = 4 // length
+		binary.BigEndian.PutUint16(w[22:], h.MSS)
+	}
+	acc := checksum.PseudoHeader(0, src, dst, ipv4.ProtoTCP, segLen)
+	ck := checksum.Fold(checksum.Sum(acc, b.Bytes()))
+	binary.BigEndian.PutUint16(w[16:], ck)
+}
+
+// Decode strips and validates a header from b (whose bytes must be exactly
+// the TCP segment, i.e. the IP payload), verifying the checksum against the
+// pseudo-header.
+func Decode(b *pkt.Buf, src, dst ipv4.Addr) (Header, error) {
+	if b.Len() < HeaderLen {
+		return Header{}, fmt.Errorf("tcp: short segment (%d bytes)", b.Len())
+	}
+	w := b.Bytes()
+	hl := int(w[12]>>4) * 4
+	if hl < HeaderLen || hl > b.Len() {
+		return Header{}, fmt.Errorf("tcp: bad data offset %d", hl)
+	}
+	acc := checksum.PseudoHeader(0, src, dst, ipv4.ProtoTCP, b.Len())
+	if checksum.Fold(checksum.Sum(acc, w)) != 0 {
+		return Header{}, fmt.Errorf("tcp: checksum mismatch")
+	}
+	var h Header
+	h.SrcPort = binary.BigEndian.Uint16(w[0:])
+	h.DstPort = binary.BigEndian.Uint16(w[2:])
+	h.Seq = Seq(binary.BigEndian.Uint32(w[4:]))
+	h.Ack = Seq(binary.BigEndian.Uint32(w[8:]))
+	h.Flags = w[13]
+	h.Window = binary.BigEndian.Uint16(w[14:])
+	h.Urgent = binary.BigEndian.Uint16(w[18:])
+	// Parse options (MSS only; skip others).
+	opts := w[HeaderLen:hl]
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case 0: // end of options
+			i = len(opts)
+		case 1: // no-op
+			i++
+		default:
+			if i+1 >= len(opts) || opts[i+1] < 2 || i+int(opts[i+1]) > len(opts) {
+				return Header{}, fmt.Errorf("tcp: malformed options")
+			}
+			if opts[i] == 2 && opts[i+1] == 4 {
+				h.MSS = binary.BigEndian.Uint16(opts[i+2:])
+			}
+			i += int(opts[i+1])
+		}
+	}
+	b.Strip(hl)
+	return h, nil
+}

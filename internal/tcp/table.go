@@ -1,0 +1,133 @@
+package tcp
+
+import "fmt"
+
+// FourTuple identifies a connection.
+type FourTuple struct {
+	Local, Peer Endpoint
+}
+
+// Table is the protocol-control-block lookup structure the monolithic
+// organizations use to demultiplex inbound segments: exact four-tuple match
+// first, then a listener on the local port. (In the user-level-library
+// organization this lookup is replaced by the network I/O module's per-
+// endpoint filters and the AN1's BQI, which is the paper's point.)
+type Table struct {
+	conns     map[FourTuple]*Conn
+	listeners map[uint16]*Conn
+}
+
+// NewTable creates an empty PCB table.
+func NewTable() *Table {
+	return &Table{
+		conns:     make(map[FourTuple]*Conn),
+		listeners: make(map[uint16]*Conn),
+	}
+}
+
+// Insert registers a fully specified connection. It fails if the four-tuple
+// is taken.
+func (t *Table) Insert(c *Conn) error {
+	k := FourTuple{c.Local(), c.Peer()}
+	if _, dup := t.conns[k]; dup {
+		return fmt.Errorf("tcp: connection %v already exists", k)
+	}
+	t.conns[k] = c
+	return nil
+}
+
+// InsertListener registers a listening pcb on a local port.
+func (t *Table) InsertListener(c *Conn) error {
+	p := c.Local().Port
+	if _, dup := t.listeners[p]; dup {
+		return fmt.Errorf("tcp: port %d already listening", p)
+	}
+	t.listeners[p] = c
+	return nil
+}
+
+// Remove deletes a connection.
+func (t *Table) Remove(c *Conn) {
+	delete(t.conns, FourTuple{c.Local(), c.Peer()})
+}
+
+// RemoveListener deletes a listener by port.
+func (t *Table) RemoveListener(port uint16) {
+	delete(t.listeners, port)
+}
+
+// Lookup finds the pcb for a segment received for local from peer:
+// connection match first, then listener.
+func (t *Table) Lookup(local, peer Endpoint) (*Conn, bool) {
+	if c, ok := t.conns[FourTuple{local, peer}]; ok {
+		return c, true
+	}
+	if c, ok := t.listeners[local.Port]; ok {
+		return c, true
+	}
+	return nil, false
+}
+
+// LookupExact finds only a fully specified connection.
+func (t *Table) LookupExact(local, peer Endpoint) (*Conn, bool) {
+	c, ok := t.conns[FourTuple{local, peer}]
+	return c, ok
+}
+
+// Listener returns the listening pcb on a port.
+func (t *Table) Listener(port uint16) (*Conn, bool) {
+	c, ok := t.listeners[port]
+	return c, ok
+}
+
+// Len returns the number of registered connections (excluding listeners).
+func (t *Table) Len() int { return len(t.conns) }
+
+// Each calls fn for every registered connection; fn must not mutate the
+// table (collect first, then act).
+func (t *Table) Each(fn func(*Conn)) {
+	for _, c := range t.conns {
+		fn(c)
+	}
+	for _, c := range t.listeners {
+		fn(c)
+	}
+}
+
+// PortAlloc hands out ephemeral local ports, BSD-style (1024..5000).
+type PortAlloc struct {
+	next  uint16
+	inUse map[uint16]bool
+}
+
+// NewPortAlloc creates an allocator.
+func NewPortAlloc() *PortAlloc {
+	return &PortAlloc{next: 1024, inUse: make(map[uint16]bool)}
+}
+
+// Reserve claims a specific port (bind); it reports whether it was free.
+func (a *PortAlloc) Reserve(p uint16) bool {
+	if a.inUse[p] {
+		return false
+	}
+	a.inUse[p] = true
+	return true
+}
+
+// Ephemeral allocates the next free ephemeral port.
+func (a *PortAlloc) Ephemeral() uint16 {
+	for {
+		p := a.next
+		a.next++
+		if a.next >= 5000 {
+			a.next = 1024
+		}
+		if !a.inUse[p] {
+			a.inUse[p] = true
+			return p
+		}
+	}
+}
+
+// Release frees a port for reuse.
+func (a *PortAlloc) Release(p uint16) { delete(a.inUse, p) }

@@ -1,0 +1,219 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFireAtDeadline(t *testing.T) {
+	w := New(3, 16)
+	var firedAt uint64
+	var tm Timer
+	w.Set(&tm, 5, func() { firedAt = w.Now() })
+	w.Advance(10)
+	if firedAt != 5 {
+		t.Fatalf("fired at tick %d, want 5", firedAt)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestZeroDelayFiresNextTick(t *testing.T) {
+	w := New(2, 8)
+	fired := false
+	var tm Timer
+	w.Set(&tm, 0, func() { fired = true })
+	w.Advance(1)
+	if !fired {
+		t.Fatal("zero-delay timer did not fire on next tick")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New(3, 16)
+	fired := false
+	var tm Timer
+	w.Set(&tm, 5, func() { fired = true })
+	if !w.Cancel(&tm) {
+		t.Fatal("cancel of armed timer returned false")
+	}
+	if w.Cancel(&tm) {
+		t.Fatal("cancel of disarmed timer returned true")
+	}
+	w.Advance(20)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed = %d, want 0", w.Armed())
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	w := New(3, 16)
+	var firedAt []uint64
+	var tm Timer
+	w.Set(&tm, 3, func() { firedAt = append(firedAt, w.Now()) })
+	w.Set(&tm, 9, func() { firedAt = append(firedAt, w.Now()) })
+	w.Advance(20)
+	if len(firedAt) != 1 || firedAt[0] != 9 {
+		t.Fatalf("firedAt = %v, want [9]", firedAt)
+	}
+}
+
+func TestCascadeAcrossLevels(t *testing.T) {
+	w := New(3, 8) // level 0 spans 8 ticks, level 1 spans 64, level 2 spans 512
+	deadlines := []uint64{1, 7, 8, 9, 63, 64, 65, 100, 511}
+	var fired []uint64
+	timers := make([]Timer, len(deadlines))
+	for i, d := range deadlines {
+		w.Set(&timers[i], d, func() { fired = append(fired, w.Now()) })
+	}
+	w.Advance(512)
+	if len(fired) != len(deadlines) {
+		t.Fatalf("fired %d timers, want %d (fired=%v)", len(fired), len(deadlines), fired)
+	}
+	want := append([]uint64(nil), deadlines...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestRepeatedReuse(t *testing.T) {
+	w := New(3, 16)
+	var tm Timer
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		if count < 5 {
+			w.Set(&tm, 2, rearm)
+		}
+	}
+	w.Set(&tm, 2, rearm)
+	w.Advance(100)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestClampBeyondRange(t *testing.T) {
+	w := New(2, 8) // max span 64
+	fired := false
+	var tm Timer
+	w.Set(&tm, 1000, func() { fired = true })
+	w.Advance(64)
+	if !fired {
+		t.Fatal("out-of-range timer should clamp to max span and fire")
+	}
+}
+
+// Property: timers with arbitrary delays fire exactly once, at or after
+// their deadline tick, and in nondecreasing deadline order.
+func TestFireOrderProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := New(4, 16)
+		count := int(n%50) + 1
+		type rec struct{ deadline, firedAt uint64 }
+		recs := make([]rec, count)
+		timers := make([]Timer, count)
+		var order []int
+		for i := 0; i < count; i++ {
+			d := uint64(rng.Intn(4000)) + 1
+			recs[i].deadline = d
+			i := i
+			w.Set(&timers[i], d, func() {
+				recs[i].firedAt = w.Now()
+				order = append(order, i)
+			})
+		}
+		w.Advance(5000)
+		if len(order) != count {
+			return false
+		}
+		prev := uint64(0)
+		for _, i := range order {
+			if recs[i].firedAt != recs[i].deadline {
+				return false
+			}
+			if recs[i].deadline < prev {
+				return false
+			}
+			prev = recs[i].deadline
+		}
+		return w.Armed() == 0
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset means exactly the uncancelled ones
+// fire.
+func TestCancelSubsetProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := New(3, 16)
+		const count = 30
+		timers := make([]Timer, count)
+		fired := make([]bool, count)
+		for i := 0; i < count; i++ {
+			i := i
+			w.Set(&timers[i], uint64(rng.Intn(500))+1, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, count)
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = w.Cancel(&timers[i])
+				if !cancelled[i] {
+					return false // all were armed
+				}
+			}
+		}
+		w.Advance(600)
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	w := New(2, 8)
+	var tm Timer
+	w.Set(&tm, 1, func() {})
+	w.Cancel(&tm)
+	w.Set(&tm, 1, func() {})
+	w.Advance(2)
+	// set + cancel + set + fire = 4
+	if w.Ops() != 4 {
+		t.Fatalf("ops = %d, want 4", w.Ops())
+	}
+}
+
+func BenchmarkSetCancel(b *testing.B) {
+	w := New(4, 256)
+	var tm Timer
+	for i := 0; i < b.N; i++ {
+		w.Set(&tm, uint64(i%1000)+1, func() {})
+		w.Cancel(&tm)
+	}
+}
+
+func BenchmarkAdvanceIdle(b *testing.B) {
+	w := New(4, 256)
+	var tm Timer
+	w.Set(&tm, 1<<30, func() {})
+	b.ResetTimer()
+	w.Advance(uint64(b.N))
+}

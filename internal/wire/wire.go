@@ -1,0 +1,239 @@
+// Package wire models the physical network media: a shared 10 Mb/s Ethernet
+// segment and a switched, full-duplex 100 Mb/s AN1 segment. A segment
+// serializes transmissions (globally for the shared Ethernet, per source
+// port for the switched AN1), charges transmission and propagation delay,
+// and optionally injects faults (loss, duplication, corruption, reordering)
+// for protocol robustness testing.
+//
+// Stations are identified by link.Addr; attached devices receive delivery
+// callbacks in event context at frame-arrival time.
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ulp/internal/link"
+	"ulp/internal/pkt"
+	"ulp/internal/sim"
+)
+
+// Config describes a segment's physical characteristics.
+type Config struct {
+	Name string
+
+	// BitsPerSec is the raw signalling rate.
+	BitsPerSec int64
+
+	// Propagation is the one-way propagation delay.
+	Propagation time.Duration
+
+	// FrameOverhead is per-frame non-payload wire time in bytes (preamble,
+	// FCS, inter-frame gap). 24 for Ethernet (8 preamble + 4 FCS + 12 IFG).
+	FrameOverhead int
+
+	// Shared serializes all transmissions on one medium (CSMA-style shared
+	// Ethernet). When false the segment is switched: each source port has
+	// its own transmit serialization and flows do not contend.
+	Shared bool
+}
+
+// EthernetConfig returns the 10 Mb/s shared Ethernet used in the paper.
+func EthernetConfig() Config {
+	return Config{
+		Name:          "ethernet",
+		BitsPerSec:    10_000_000,
+		Propagation:   10 * time.Microsecond,
+		FrameOverhead: 24,
+		Shared:        true,
+	}
+}
+
+// AN1Config returns the switchless private 100 Mb/s AN1 segment used in the
+// paper.
+func AN1Config() Config {
+	return Config{
+		Name:          "an1",
+		BitsPerSec:    100_000_000,
+		Propagation:   5 * time.Microsecond,
+		FrameOverhead: 16,
+		Shared:        false,
+	}
+}
+
+// Faults configures seeded fault injection. Zero value = perfect network.
+type Faults struct {
+	Seed uint64
+
+	// LossProb drops a frame with this probability.
+	LossProb float64
+
+	// DupProb delivers a frame twice.
+	DupProb float64
+
+	// CorruptProb flips a bit in the frame payload (after link CRC would
+	// have passed, to exercise transport checksums).
+	CorruptProb float64
+
+	// ReorderProb delays a frame by ReorderDelay, letting later frames
+	// overtake it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+}
+
+func (f Faults) active() bool {
+	return f.LossProb > 0 || f.DupProb > 0 || f.CorruptProb > 0 || f.ReorderProb > 0
+}
+
+// Station is a device attached to a segment.
+type Station interface {
+	// Deliver is invoked in event context when a frame arrives at the
+	// station. The buffer belongs to the station afterwards.
+	Deliver(b *pkt.Buf)
+
+	// Addr returns the station address.
+	Addr() link.Addr
+}
+
+// Segment is one network medium instance.
+type Segment struct {
+	s        *sim.Sim
+	cfg      Config
+	stations map[link.Addr]Station
+	order    []Station // broadcast delivery order (attach order, deterministic)
+	shared   *sim.Resource
+	perPort  map[link.Addr]*sim.Resource
+	faults   Faults
+	rng      *rand.Rand
+
+	// Trace, when non-nil, observes every transmission at queue time (for
+	// diagnostics and protocol traces).
+	Trace func(src, dst link.Addr, frameLen int, at sim.Time)
+
+	// TraceFrame, when non-nil, additionally receives the frame itself at
+	// queue time. Observers must treat the buffer as read-only.
+	TraceFrame func(b *pkt.Buf, at sim.Time)
+
+	// Stats
+	framesSent, framesDropped, framesCorrupted, framesDuplicated int
+	bytesSent                                                    int64
+}
+
+// New creates a segment.
+func New(s *sim.Sim, cfg Config) *Segment {
+	g := &Segment{
+		s:        s,
+		cfg:      cfg,
+		stations: make(map[link.Addr]Station),
+		perPort:  make(map[link.Addr]*sim.Resource),
+	}
+	if cfg.Shared {
+		g.shared = s.NewResource(cfg.Name + ".medium")
+	}
+	return g
+}
+
+// SetFaults installs a fault plan (seeded; deterministic).
+func (g *Segment) SetFaults(f Faults) {
+	g.faults = f
+	g.rng = rand.New(rand.NewSource(int64(f.Seed)))
+}
+
+// Config returns the segment configuration.
+func (g *Segment) Config() Config { return g.cfg }
+
+// Attach registers a station. Attaching two stations with one address is a
+// configuration error and panics.
+func (g *Segment) Attach(st Station) {
+	a := st.Addr()
+	if _, dup := g.stations[a]; dup {
+		panic(fmt.Sprintf("wire: duplicate station address %s on %s", a, g.cfg.Name))
+	}
+	g.stations[a] = st
+	g.order = append(g.order, st)
+	if !g.cfg.Shared {
+		g.perPort[a] = g.s.NewResource(g.cfg.Name + "." + a.String() + ".tx")
+	}
+}
+
+// TxTime returns the wire occupancy time for a frame of n bytes.
+func (g *Segment) TxTime(n int) time.Duration {
+	bits := int64(n+g.cfg.FrameOverhead) * 8
+	return time.Duration(bits * int64(time.Second) / g.cfg.BitsPerSec)
+}
+
+// Transmit sends frame b from src to dst. The frame is serialized onto the
+// medium (queueing behind in-flight frames), then delivered after
+// propagation. dst == link.Broadcast delivers to every station except the
+// sender. Transmit may be called from any simulation context; it does not
+// block the caller (devices model any blocking themselves).
+func (g *Segment) Transmit(src, dst link.Addr, b *pkt.Buf) {
+	res := g.shared
+	if res == nil {
+		res = g.perPort[src]
+		if res == nil {
+			panic(fmt.Sprintf("wire: transmit from unattached station %s", src))
+		}
+	}
+	g.framesSent++
+	g.bytesSent += int64(b.Len())
+	if g.Trace != nil {
+		g.Trace(src, dst, b.Len(), g.s.Now())
+	}
+	if g.TraceFrame != nil {
+		g.TraceFrame(b, g.s.Now())
+	}
+	tx := g.TxTime(b.Len())
+	res.UseAsync(tx, func() {
+		g.propagate(src, dst, b)
+	})
+}
+
+// propagate handles fault injection and schedules final delivery.
+func (g *Segment) propagate(src, dst link.Addr, b *pkt.Buf) {
+	delay := g.cfg.Propagation
+	if g.faults.active() {
+		if g.rng.Float64() < g.faults.LossProb {
+			g.framesDropped++
+			return
+		}
+		if g.rng.Float64() < g.faults.CorruptProb && b.Len() > 0 {
+			g.framesCorrupted++
+			bit := g.rng.Intn(b.Len() * 8)
+			b.Bytes()[bit/8] ^= 1 << (bit % 8)
+			b.Meta.Corrupt = true
+		}
+		if g.rng.Float64() < g.faults.DupProb {
+			g.framesDuplicated++
+			dup := b.Clone()
+			g.s.After(delay, func() { g.deliver(src, dst, dup) })
+		}
+		if g.rng.Float64() < g.faults.ReorderProb {
+			delay += g.faults.ReorderDelay
+		}
+	}
+	g.s.After(delay, func() { g.deliver(src, dst, b) })
+}
+
+func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
+	b.Meta.RxDev = g.cfg.Name
+	if dst.IsBroadcast() {
+		for _, st := range g.order {
+			if st.Addr() == src {
+				continue
+			}
+			st.Deliver(b.Clone())
+		}
+		return
+	}
+	if st, ok := g.stations[dst]; ok {
+		st.Deliver(b)
+	}
+	// Frames to unknown stations vanish, as on a real wire.
+}
+
+// Stats reports cumulative counters.
+func (g *Segment) Stats() (sent, dropped, corrupted, duplicated int, bytes int64) {
+	return g.framesSent, g.framesDropped, g.framesCorrupted, g.framesDuplicated, g.bytesSent
+}

@@ -1,0 +1,278 @@
+// Package ulp is a faithful reproduction of "Implementing Network Protocols
+// at User Level" (Thekkath, Nguyen, Moy, Lazowska; SIGCOMM 1993) as a
+// deterministic discrete-event simulation.
+//
+// It builds simulated 1993 workstations (DECstation 5000/200-class hosts)
+// attached to a 10 Mb/s Ethernet and/or a 100 Mb/s DEC SRC AN1 network, and
+// runs a complete, byte-exact TCP/IP/ARP protocol suite under the paper's
+// three protocol organizations:
+//
+//   - OrgUserLib — the paper's contribution: a protocol library linked into
+//     the application, a trusted registry server for connection setup, and
+//     an in-kernel network I/O module providing protected, demultiplexed
+//     network access (hardware BQI demux on the AN1, software filters on
+//     Ethernet).
+//   - OrgInKernel — the Ultrix 4.2A style monolithic in-kernel stack.
+//   - OrgSingleServer — the Mach 3.0 + UX style single-server stack with a
+//     mapped device.
+//
+// The identical protocol engine runs under all three; measured differences
+// are purely structural, which is the paper's methodology. The experiments
+// package and cmd/ulbench regenerate every table of the paper's evaluation.
+//
+// # Quick start
+//
+//	w := ulp.NewWorld(ulp.Config{Org: ulp.OrgUserLib, Net: ulp.Ethernet})
+//	server, client := w.Node(0).App("server"), w.Node(1).App("client")
+//	server.Go("srv", func(t *kern.Thread) {
+//	    l, _ := server.Stack.Listen(t, 80, stacks.Options{})
+//	    c, _ := l.Accept(t)
+//	    buf := make([]byte, 4096)
+//	    n, _ := c.Read(t, buf)
+//	    c.Write(t, buf[:n]) // echo
+//	})
+//	client.Go("cli", func(t *kern.Thread) {
+//	    c, _ := client.Stack.Connect(t, w.Endpoint(0, 80), stacks.Options{})
+//	    c.Write(t, []byte("hello"))
+//	    ...
+//	})
+//	w.Run(2 * time.Second)
+package ulp
+
+import (
+	"fmt"
+	"time"
+
+	"ulp/internal/core"
+	"ulp/internal/costs"
+	"ulp/internal/ipv4"
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netdev"
+	"ulp/internal/netio"
+	"ulp/internal/pkt"
+	"ulp/internal/registry"
+	"ulp/internal/sim"
+	"ulp/internal/stacks"
+	"ulp/internal/tcp"
+	"ulp/internal/wire"
+)
+
+// Org selects a protocol organization (Figure 1 of the paper).
+type Org int
+
+// Organizations.
+const (
+	OrgUserLib Org = iota
+	OrgInKernel
+	OrgSingleServer
+)
+
+// String names the organization as the experiments print it.
+func (o Org) String() string {
+	switch o {
+	case OrgUserLib:
+		return "userlib"
+	case OrgInKernel:
+		return "inkernel"
+	case OrgSingleServer:
+		return "singleserver"
+	}
+	return fmt.Sprintf("Org(%d)", int(o))
+}
+
+// Net selects the simulated network.
+type Net int
+
+// Networks.
+const (
+	// Ethernet is the 10 Mb/s shared segment with the LANCE PIO interface.
+	Ethernet Net = iota
+	// AN1 is the 100 Mb/s switched segment, driver-limited to 1500-byte
+	// encapsulation as in the paper.
+	AN1
+	// AN1Jumbo lifts the encapsulation limit to the hardware's 64 KB
+	// frames (the paper notes the limitation; this is the ablation).
+	AN1Jumbo
+)
+
+// String names the network.
+func (n Net) String() string {
+	switch n {
+	case Ethernet:
+		return "ethernet"
+	case AN1:
+		return "an1"
+	case AN1Jumbo:
+		return "an1-64k"
+	}
+	return fmt.Sprintf("Net(%d)", int(n))
+}
+
+// Config describes a world to build.
+type Config struct {
+	// Org is the protocol organization instantiated on every host.
+	Org Org
+	// Net is the network type.
+	Net Net
+	// Hosts is the number of workstations (default 2).
+	Hosts int
+	// Faults optionally injects loss/duplication/corruption/reordering.
+	Faults *wire.Faults
+	// Costs overrides the calibrated cost model (ablations).
+	Costs *costs.Model
+}
+
+// World is a built simulation: a network segment plus hosts running the
+// selected organization.
+type World struct {
+	Sim   *sim.Sim
+	Seg   *wire.Segment
+	nodes []*Node
+	cfg   Config
+}
+
+// Node is one workstation.
+type Node struct {
+	world *World
+	Index int
+	Host  *kern.Host
+	Mod   *netio.Module
+	IP    ipv4.Addr
+
+	// Exactly one of these is set, by organization.
+	Registry *registry.Server
+	InKernel *stacks.InKernel
+	UXServer *stacks.SingleServer
+}
+
+// App is one application on a node: an address space plus the stack handle
+// it uses (its own linked library under OrgUserLib; the shared kernel or
+// server stack otherwise).
+type App struct {
+	Node  *Node
+	Dom   *kern.Domain
+	Stack stacks.Stack
+	// Lib is non-nil under OrgUserLib, exposing library-specific calls
+	// (Exit/inheritance).
+	Lib *core.Library
+}
+
+// NewWorld builds a world.
+func NewWorld(cfg Config) *World {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 2
+	}
+	s := sim.New()
+	var wcfg wire.Config
+	switch cfg.Net {
+	case Ethernet:
+		wcfg = wire.EthernetConfig()
+	default:
+		wcfg = wire.AN1Config()
+	}
+	seg := wire.New(s, wcfg)
+	if cfg.Faults != nil {
+		seg.SetFaults(*cfg.Faults)
+	}
+	model := costs.Default()
+	if cfg.Costs != nil {
+		model = *cfg.Costs
+	}
+	w := &World{Sim: s, Seg: seg, cfg: cfg}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := kern.NewHost(s, fmt.Sprintf("h%d", i), model)
+		addr := link.MakeAddr(i + 1)
+		var dev netdev.Device
+		switch cfg.Net {
+		case Ethernet:
+			dev = netdev.NewLance(h, seg, addr)
+		case AN1:
+			dev = netdev.NewAN1(h, seg, addr, link.AN1EncapMTU)
+		case AN1Jumbo:
+			dev = netdev.NewAN1(h, seg, addr, link.AN1MaxMTU)
+		}
+		mod := netio.New(h, dev)
+		n := &Node{world: w, Index: i, Host: h, Mod: mod, IP: ipv4.Addr{10, 0, 0, byte(i + 1)}}
+		switch cfg.Org {
+		case OrgUserLib:
+			n.Registry = registry.New(s, mod, n.IP)
+		case OrgInKernel:
+			n.InKernel = stacks.NewInKernel(s, mod, n.IP)
+		case OrgSingleServer:
+			n.UXServer = stacks.NewSingleServer(s, mod, n.IP)
+		}
+		w.nodes = append(w.nodes, n)
+	}
+	return w
+}
+
+// Node returns host i.
+func (w *World) Node(i int) *Node { return w.nodes[i] }
+
+// Nodes returns the host count.
+func (w *World) Nodes() int { return len(w.nodes) }
+
+// Endpoint names a TCP endpoint on host i.
+func (w *World) Endpoint(i int, port uint16) tcp.Endpoint {
+	return tcp.Endpoint{IP: w.nodes[i].IP, Port: port}
+}
+
+// Run advances virtual time by d (0 = until no events remain, which with
+// timer threads running means forever — always pass a budget).
+func (w *World) Run(d time.Duration) time.Duration {
+	return time.Duration(w.Sim.Run(d))
+}
+
+// RunUntil advances until pred holds or the budget expires.
+func (w *World) RunUntil(d time.Duration, pred func() bool) time.Duration {
+	return time.Duration(w.Sim.RunUntil(d, pred))
+}
+
+// Now returns current virtual time.
+func (w *World) Now() time.Duration { return time.Duration(w.Sim.Now()) }
+
+// TraceFrames installs a read-only observer for every frame transmitted on
+// the segment (protocol tracing; see cmd/ultrace).
+func (w *World) TraceFrames(fn func(at time.Duration, frame *pkt.Buf)) {
+	w.Seg.TraceFrame = func(b *pkt.Buf, at sim.Time) {
+		fn(time.Duration(at), b)
+	}
+}
+
+// App creates an application on the node.
+func (n *Node) App(name string) *App {
+	dom := n.Host.NewDomain(name, false)
+	a := &App{Node: n, Dom: dom}
+	switch {
+	case n.Registry != nil:
+		a.Lib = core.NewLibrary(n.world.Sim, dom, n.Registry)
+		a.Stack = a.Lib
+	case n.InKernel != nil:
+		a.Stack = n.InKernel
+	case n.UXServer != nil:
+		a.Stack = n.UXServer
+	}
+	return a
+}
+
+// Go runs fn as an application thread.
+func (a *App) Go(name string, fn func(t *kern.Thread)) *kern.Thread {
+	return a.Dom.Spawn(name, fn)
+}
+
+// GoAfter runs fn as an application thread after a delay.
+func (a *App) GoAfter(d time.Duration, name string, fn func(t *kern.Thread)) *kern.Thread {
+	return a.Dom.SpawnAfter(d, name, fn)
+}
+
+// UDP returns the node's datagram service (monolithic organizations).
+func (n *Node) UDP() *stacks.UDPHost {
+	switch {
+	case n.InKernel != nil:
+		return n.InKernel.UDP()
+	case n.UXServer != nil:
+		return n.UXServer.UDP()
+	}
+	return nil
+}
