@@ -3,12 +3,17 @@
 // wire — and shows the protocol machinery (checksums, retransmission, fast
 // retransmit, reassembly) delivering a byte-perfect stream anyway.
 //
+// Exits non-zero if the transfer fails verification, so it doubles as a
+// scriptable smoke test.
+//
 //	go run ./examples/faultynet
 package main
 
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"ulp"
@@ -18,6 +23,27 @@ import (
 )
 
 const transferSize = 200 << 10
+
+// shared is the state the simulated application threads write and the main
+// goroutine reads after the run. The simulator hands control between
+// goroutines one at a time, but the mutex makes the sharing discipline
+// explicit and keeps the example clean under the race detector.
+type shared struct {
+	mu           sync.Mutex
+	got          []byte
+	cConn, sConn stacks.Conn
+	done         bool
+	failure      string
+}
+
+func (s *shared) fail(msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure == "" {
+		s.failure = msg
+	}
+	s.done = true
+}
 
 func main() {
 	faults := wire.Faults{
@@ -39,67 +65,99 @@ func main() {
 
 	srv := w.Node(0).App("receiver")
 	cli := w.Node(1).App("sender")
-	var got []byte
-	var cConn, sConn stacks.Conn
-	done := false
+	st := &shared{}
 
 	srv.Go("rx", func(t *kern.Thread) {
 		l, _ := srv.Stack.Listen(t, 9, stacks.Options{})
 		c, err := l.Accept(t)
 		if err != nil {
-			done = true
+			st.fail(fmt.Sprintf("accept: %v", err))
 			return
 		}
-		sConn = c
+		st.mu.Lock()
+		st.sConn = c
+		st.mu.Unlock()
 		buf := make([]byte, 65536)
-		for len(got) < transferSize {
+		total := 0
+		for total < transferSize {
 			n, err := c.Read(t, buf)
-			if err != nil || n == 0 {
+			if err != nil {
+				st.fail(fmt.Sprintf("receiver read: %v", err))
+				return
+			}
+			if n == 0 {
 				break
 			}
-			got = append(got, buf[:n]...)
+			st.mu.Lock()
+			st.got = append(st.got, buf[:n]...)
+			total = len(st.got)
+			st.mu.Unlock()
 		}
-		done = true
+		st.mu.Lock()
+		st.done = true
+		st.mu.Unlock()
 	})
 	cli.GoAfter(time.Millisecond, "tx", func(t *kern.Thread) {
 		c, err := cli.Stack.Connect(t, w.Endpoint(0, 9), stacks.Options{})
 		if err != nil {
-			fmt.Println("connect:", err)
-			done = true
+			st.fail(fmt.Sprintf("connect: %v", err))
 			return
 		}
-		cConn = c
+		st.mu.Lock()
+		st.cConn = c
+		st.mu.Unlock()
 		sent := 0
 		for sent < transferSize {
 			n, err := c.Write(t, data[sent:])
 			if err != nil {
-				break
+				st.fail(fmt.Sprintf("sender write: %v", err))
+				return
 			}
 			sent += n
 		}
 	})
 	start := time.Now()
-	w.RunUntil(30*time.Minute, func() bool { return done })
+	w.RunUntil(30*time.Minute, func() bool {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.done
+	})
 
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	fmt.Printf("transferred %d/%d bytes in %v of virtual time (%.2fs of wall time)\n",
-		len(got), transferSize, w.Now().Round(time.Millisecond), time.Since(start).Seconds())
-	if bytes.Equal(got, data) {
+		len(st.got), transferSize, w.Now().Round(time.Millisecond), time.Since(start).Seconds())
+
+	ok := true
+	if st.failure != "" {
+		fmt.Println("failure:", st.failure)
+		ok = false
+	}
+	if !st.done {
+		fmt.Println("failure: transfer did not complete within the virtual-time budget")
+		ok = false
+	}
+	if bytes.Equal(st.got, data) {
 		fmt.Println("integrity: byte-for-byte intact")
 	} else {
 		fmt.Println("integrity: CORRUPTED — protocol failure!")
+		ok = false
 	}
 
 	sent, dropped, corrupted, duplicated, _ := w.Seg.Stats()
 	fmt.Printf("\nwire:   %d frames sent, %d dropped, %d corrupted, %d duplicated\n",
 		sent, dropped, corrupted, duplicated)
-	if cConn != nil {
-		st := cConn.Stats()
+	if st.cConn != nil {
+		cs := st.cConn.Stats()
 		fmt.Printf("sender: %d segments, %d timeout retransmissions, %d fast retransmissions, %d dup-acks seen\n",
-			st.SegsSent, st.Rexmits, st.FastRexmits, st.DupAcksRcvd)
+			cs.SegsSent, cs.Rexmits, cs.FastRexmits, cs.DupAcksRcvd)
 	}
-	if sConn != nil {
-		st := sConn.Stats()
+	if st.sConn != nil {
+		ss := st.sConn.Stats()
 		fmt.Printf("receiver: %d segments received, %d out-of-order arrivals queued for reassembly\n",
-			st.SegsRcvd, st.OutOfOrder)
+			ss.SegsRcvd, ss.OutOfOrder)
+	}
+	if !ok {
+		os.Exit(1)
 	}
 }

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"math/rand"
 	"time"
 
 	"ulp/internal/ipv4"
@@ -42,6 +43,34 @@ type Library struct {
 
 	conns map[*Conn]struct{}
 	ids   ipv4.IDGen
+
+	// rng drives retry jitter; seeded so runs stay deterministic.
+	rng *rand.Rand
+}
+
+// Control-plane RPC hardening: every registry call carries a deadline and a
+// bounded retry budget, so a dead or wedged registry turns into a clean
+// ErrRegistryUnavailable instead of a hung application. Backoff doubles per
+// attempt with jitter so concurrent retriers do not re-synchronize.
+const (
+	rpcAttempts    = 4
+	rpcBaseTimeout = 250 * time.Millisecond
+)
+
+// callRegistry issues one control-plane RPC under the deadline/retry policy.
+func (l *Library) callRegistry(t *kern.Thread, m kern.Msg) (kern.Msg, error) {
+	timeout := rpcBaseTimeout
+	for attempt := 0; attempt < rpcAttempts; attempt++ {
+		if reply, ok := l.reg.Svc.CallTimeout(t, m, timeout); ok {
+			return reply, nil
+		}
+		// Exponential backoff with jitter in [backoff/2, backoff).
+		backoff := timeout / 2
+		backoff += time.Duration(l.rng.Int63n(int64(backoff) + 1))
+		t.Sleep(backoff)
+		timeout *= 2
+	}
+	return kern.Msg{}, stacks.ErrRegistryUnavailable
 }
 
 // NewLibrary links the protocol library into an application domain.
@@ -53,10 +82,21 @@ func NewLibrary(s *sim.Sim, app *kern.Domain, reg *registry.Server) *Library {
 		reg:   reg,
 		mod:   reg.Netif().Mod,
 		conns: make(map[*Conn]struct{}),
+		rng:   rand.New(rand.NewSource(seedFrom(app.Host.Name))),
 	}
 	app.Spawn("lib-fast", l.fastTimer)
 	app.Spawn("lib-slow", l.slowTimer)
 	return l
+}
+
+// seedFrom derives a per-host jitter seed so retry schedules differ across
+// hosts but are identical across runs.
+func seedFrom(name string) int64 {
+	s := int64(17)
+	for _, ch := range name {
+		s = s*31 + int64(ch)
+	}
+	return s
 }
 
 // Name identifies the organization.
@@ -87,7 +127,10 @@ type Conn struct {
 // registry, then adopt the established connection.
 func (l *Library) Connect(t *kern.Thread, remote tcp.Endpoint, opts stacks.Options) (stacks.Conn, error) {
 	t.Compute(t.Cost().ProcCall)
-	reply := l.reg.Svc.Call(t, kern.Msg{Op: "connect", Body: registry.ConnectReq{Remote: remote, Opts: opts}})
+	reply, err := l.callRegistry(t, kern.Msg{Op: "connect", Body: registry.ConnectReq{Remote: remote, Opts: opts, Owner: l.app}})
+	if err != nil {
+		return nil, err
+	}
 	ho, ok := reply.Body.(registry.Handoff)
 	if !ok {
 		return nil, stacks.ErrClosed
@@ -110,7 +153,10 @@ type Listener struct {
 func (l *Library) Listen(t *kern.Thread, port uint16, opts stacks.Options) (stacks.Listener, error) {
 	t.Compute(t.Cost().ProcCall)
 	acceptPort := kern.NewPort(l.host, "accept")
-	reply := l.reg.Svc.Call(t, kern.Msg{Op: "listen", Body: registry.ListenReq{Port: port, Opts: opts, AcceptPort: acceptPort}})
+	reply, err := l.callRegistry(t, kern.Msg{Op: "listen", Body: registry.ListenReq{Port: port, Opts: opts, AcceptPort: acceptPort, Owner: l.app}})
+	if err != nil {
+		return nil, err
+	}
 	if err, _ := reply.Body.(error); err != nil {
 		return nil, err
 	}
@@ -129,10 +175,11 @@ func (ln *Listener) Accept(t *kern.Thread) (stacks.Conn, error) {
 	return ln.lib.adopt(t, ho, ln.opts), nil
 }
 
-// Close stops listening.
+// Close stops listening. A registry that has become unavailable is
+// tolerated: the endpoint is abandoned and reclaimed by crash cleanup.
 func (ln *Listener) Close(t *kern.Thread) {
 	t.Compute(t.Cost().ProcCall)
-	ln.lib.reg.Svc.Call(t, kern.Msg{Op: "unlisten", Body: registry.UnlistenReq{Port: ln.port}})
+	_, _ = ln.lib.callRegistry(t, kern.Msg{Op: "unlisten", Body: registry.UnlistenReq{Port: ln.port}})
 }
 
 // adopt turns a registry handoff into a live library connection.

@@ -34,7 +34,10 @@ type UDPConn struct {
 // BindUDP allocates a datagram end-point through the registry.
 func (l *Library) BindUDP(t *kern.Thread, port uint16) (*UDPConn, error) {
 	t.Compute(t.Cost().ProcCall)
-	reply := l.reg.Svc.Call(t, kern.Msg{Op: "bind-udp", Body: registry.BindUDPReq{Port: port}})
+	reply, err := l.callRegistry(t, kern.Msg{Op: "bind-udp", Body: registry.BindUDPReq{Port: port, Owner: l.app}})
+	if err != nil {
+		return nil, err
+	}
 	ho, ok := reply.Body.(registry.UDPHandoff)
 	if !ok {
 		return nil, stacks.ErrClosed
@@ -61,7 +64,10 @@ func (u *UDPConn) Resolve(t *kern.Thread, ip ipv4.Addr) error {
 		return nil
 	}
 	t.Compute(t.Cost().ProcCall)
-	reply := u.lib.reg.Svc.Call(t, kern.Msg{Op: "resolve", Body: registry.ResolveReq{IP: ip}})
+	reply, err := u.lib.callRegistry(t, kern.Msg{Op: "resolve", Body: registry.ResolveReq{IP: ip}})
+	if err != nil {
+		return err
+	}
 	rr, ok := reply.Body.(registry.ResolveReply)
 	if !ok {
 		return stacks.ErrClosed
@@ -132,12 +138,12 @@ func (u *UDPConn) SendVia(t *kern.Thread, dst udp.Endpoint, payload []byte) erro
 	}
 	c := t.Cost()
 	t.Compute(c.ProcCall + c.UDPPacket + c.Checksum(len(payload)) + c.SockbufOp)
-	u.lib.reg.Svc.Call(t, kern.Msg{
+	_, err := u.lib.callRegistry(t, kern.Msg{
 		Op:   "udp-send",
 		Size: len(payload),
 		Body: registry.UDPSendReq{SrcPort: u.local.Port, Dst: dst.IP, Frame: u.buildFrame(dst, hw, payload)},
 	})
-	return nil
+	return err
 }
 
 // Recv blocks for the next datagram.

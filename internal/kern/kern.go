@@ -53,6 +53,10 @@ type Domain struct {
 	Host       *Host
 	Name       string
 	Privileged bool
+
+	threads    []*Thread
+	dead       bool
+	deathHooks []func()
 }
 
 func (d *Domain) String() string { return d.Host.Name + "/" + d.Name }
@@ -63,23 +67,62 @@ type Thread struct {
 	Dom *Domain
 }
 
-// Spawn starts a thread in the domain.
+// Spawn starts a thread in the domain. Spawning into a dead (crashed)
+// domain returns a thread that never runs, as the address space is gone.
 func (d *Domain) Spawn(name string, fn func(t *Thread)) *Thread {
-	t := &Thread{Dom: d}
-	t.Proc = d.Host.S.Spawn(d.String()+"."+name, func(p *sim.Proc) {
-		fn(t)
-	})
-	return t
+	return d.SpawnAfter(0, name, fn)
 }
 
 // SpawnAfter starts a thread in the domain after a delay.
 func (d *Domain) SpawnAfter(delay time.Duration, name string, fn func(t *Thread)) *Thread {
 	t := &Thread{Dom: d}
 	t.Proc = d.Host.S.SpawnAfter(delay, d.String()+"."+name, func(p *sim.Proc) {
+		if d.dead {
+			return
+		}
 		fn(t)
 	})
+	d.threads = append(d.threads, t)
+	if d.dead {
+		d.Host.S.Kill(t.Proc)
+	}
 	return t
 }
+
+// OnDeath registers a hook invoked when the domain is killed. The kernel
+// uses this to notify trusted servers (the registry, the network I/O
+// module) that an application crashed so its resources can be reclaimed.
+// Hooks run in the kill context, after every thread has been torn down; a
+// hook registered on an already-dead domain runs immediately, so observers
+// cannot miss the death by racing with it.
+func (d *Domain) OnDeath(fn func()) {
+	if d.dead {
+		fn()
+		return
+	}
+	d.deathHooks = append(d.deathHooks, fn)
+}
+
+// Kill crashes the domain abruptly: every thread is torn down at its
+// current blocking point without running any exit path, and the domain's
+// death hooks fire. This models an application that segfaults or is killed
+// — nothing the domain's code would have done on orderly exit happens.
+// Killing an already-dead domain is a no-op.
+func (d *Domain) Kill() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	for _, t := range d.threads {
+		d.Host.S.Kill(t.Proc)
+	}
+	for _, fn := range d.deathHooks {
+		fn()
+	}
+}
+
+// Dead reports whether the domain has been killed.
+func (d *Domain) Dead() bool { return d.dead }
 
 // Compute charges d of CPU time to the host on behalf of the thread,
 // blocking through any queueing delay.
@@ -138,17 +181,26 @@ func (m *Sem) Signals() int { return m.sem.Signals() }
 
 // Region is a memory region shared between domains (e.g. the packet buffer
 // area the network I/O module shares with a protocol library). The region
-// is wired (pinned) for its lifetime, as in the paper. Access control is by
-// possession of the *Region, mirroring capability possession.
+// is wired (pinned) while a connection uses it, as in the paper. Access
+// control is by possession of the *Region, mirroring capability possession.
 type Region struct {
-	Name string
-	Buf  []byte
+	Name   string
+	Buf    []byte
+	pinned bool
 }
 
 // NewRegion allocates a wired shared region.
 func NewRegion(name string, size int) *Region {
-	return &Region{Name: name, Buf: make([]byte, size)}
+	return &Region{Name: name, Buf: make([]byte, size), pinned: true}
 }
+
+// Unpin releases the wiring when the owning connection is torn down — on
+// orderly teardown or when the kernel reclaims a crashed application's
+// resources. Pinned regions are what a leaked crash would wire forever.
+func (r *Region) Unpin() { r.pinned = false }
+
+// Pinned reports whether the region is still wired.
+func (r *Region) Pinned() bool { return r.pinned }
 
 // Msg is a Mach-style message.
 type Msg struct {
@@ -210,6 +262,23 @@ func (p *Port) Call(t *Thread, m Msg) Msg {
 	c := t.Cost()
 	t.Compute(c.MachIPCSend + c.Copy(r.Size) + c.ContextSwitch)
 	return r
+}
+
+// CallTimeout is Call with a deadline: it blocks for the reply at most d of
+// virtual time, reporting false if the server never answered. The reply
+// port is abandoned on timeout; a late reply lands in a queue nobody reads,
+// exactly like a Mach RPC whose caller gave up on a dead port.
+func (p *Port) CallTimeout(t *Thread, m Msg, d time.Duration) (Msg, bool) {
+	reply := NewPort(t.Dom.Host, p.name+".reply")
+	m.Reply = reply
+	p.Send(t, m)
+	r, ok := reply.q.PopTimeout(t.Proc, d)
+	if !ok {
+		return Msg{}, false
+	}
+	c := t.Cost()
+	t.Compute(c.MachIPCSend + c.Copy(r.Size) + c.ContextSwitch)
+	return r, true
 }
 
 // Reply responds to a received message carrying a reply port.

@@ -110,7 +110,14 @@ type Capability struct {
 	id       uint64
 	template Template
 	ch       *Channel
+	// owner is the application domain the capability was issued to; the
+	// module uses it to reclaim everything a crashed application held.
+	owner *kern.Domain
 }
+
+// Owner returns the application domain the capability was issued to (nil
+// if never assigned).
+func (c *Capability) Owner() *kern.Domain { return c.owner }
 
 // Channel is the shared-memory conduit between the module and one library
 // endpoint: a receive ring in pinned shared memory plus the notification
@@ -124,8 +131,14 @@ type Channel struct {
 	noBatch bool
 	mod     *Module
 
-	// Stats
+	// overflowed marks that the ring is currently in an overflow episode,
+	// so repeated drops within one burst are one episode.
+	overflowed bool
+
+	// Stats. Dropped counts packets lost to a full ring; Overflows counts
+	// overflow episodes (bursts); HighWater is the deepest the ring got.
 	Delivered, Dropped, Notifications int
+	Overflows, HighWater              int
 }
 
 // Wait blocks the library thread until the channel is notified, then
@@ -186,13 +199,28 @@ func (ch *Channel) BQI() uint16 { return ch.bqi }
 // deliver enqueues a packet and notifies the library. The semaphore is
 // posted only when the queue transitions from empty, so a burst arriving
 // before the library wakes is delivered under a single notification.
+//
+// A full ring is backpressure, not silent loss: the drop is accounted on
+// the channel and the module, and the first drop of an episode posts an
+// extra notification so a slow consumer is prodded to drain the ring.
 func (ch *Channel) deliver(b *pkt.Buf) {
 	if len(ch.rxq) >= ch.cap {
 		ch.Dropped++
+		ch.mod.RxDropped++
+		if !ch.overflowed {
+			ch.overflowed = true
+			ch.Overflows++
+			ch.Notifications++
+			ch.sem.V()
+		}
 		return
 	}
+	ch.overflowed = false
 	ch.rxq = append(ch.rxq, b)
 	ch.Delivered++
+	if len(ch.rxq) > ch.HighWater {
+		ch.HighWater = len(ch.rxq)
+	}
 	if len(ch.rxq) == 1 || ch.noBatch {
 		ch.Notifications++
 		ch.sem.V()
@@ -217,6 +245,10 @@ type Module struct {
 
 	defaultRx netdev.RxHandler
 
+	// regions records every shared region the module ever wired, so the
+	// pinned population is auditable after crashes and teardowns.
+	regions []*kern.Region
+
 	// DisableBatching makes every delivered packet post its own
 	// notification (the batching ablation; the paper observes "network
 	// packet batching is very effective").
@@ -224,6 +256,7 @@ type Module struct {
 
 	// Stats
 	SendOK, SendRejected, DemuxMatched, DemuxDefault int
+	RxDropped                                        int
 }
 
 // New creates the module for a device and installs its receive path. For
@@ -346,6 +379,7 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch}
 	m.nextCapID++
 	m.caps[cap.id] = cap
+	m.regions = append(m.regions, ch.Region)
 
 	if an1, ok := m.dev.(*netdev.AN1); ok {
 		// Hardware demultiplexing: install the ring under the reserved (or
@@ -362,9 +396,9 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 	return cap, ch, nil
 }
 
-// DestroyChannel revokes a capability and removes its demux binding
-// (connection teardown; resources "registered with the network I/O module
-// are now reclaimed").
+// DestroyChannel revokes a capability, removes its demux binding, and
+// unpins its shared region (connection teardown; resources "registered
+// with the network I/O module are now reclaimed").
 func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 	if !from.Privileged {
 		return fmt.Errorf("netio: channel destruction from unprivileged domain %s", from)
@@ -384,8 +418,72 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 			break
 		}
 	}
+	cap.ch.Region.Unpin()
 	return nil
 }
+
+// AssignOwner records the application domain a capability was issued to.
+// Only a privileged domain (the registry, which creates channels on behalf
+// of applications) may assign ownership; the module uses it to find what a
+// crashed application held.
+func (m *Module) AssignOwner(from *kern.Domain, cap *Capability, owner *kern.Domain) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: owner assignment from unprivileged domain %s", from)
+	}
+	if _, ok := m.caps[cap.id]; !ok {
+		return ErrBadCapability
+	}
+	cap.owner = owner
+	return nil
+}
+
+// RevokeOwner reclaims every resource issued to a dead application: its
+// capabilities are revoked, demux bindings and hardware rings removed, and
+// shared regions unpinned. It returns the number of capabilities revoked.
+// This is the network I/O module's half of crash-failure reclamation — it
+// runs even if the registry's own records were incomplete, so a crash can
+// never leak kernel resources.
+func (m *Module) RevokeOwner(from *kern.Domain, owner *kern.Domain) (int, error) {
+	if !from.Privileged {
+		return 0, fmt.Errorf("netio: owner revocation from unprivileged domain %s", from)
+	}
+	revoked := 0
+	for _, cap := range m.caps {
+		if cap.owner == owner {
+			if m.DestroyChannel(from, cap) == nil {
+				revoked++
+			}
+		}
+	}
+	return revoked, nil
+}
+
+// LiveCapabilities counts valid capabilities; with a non-nil owner, only
+// those issued to that domain. Chaos tests assert this reaches zero for a
+// crashed application.
+func (m *Module) LiveCapabilities(owner *kern.Domain) int {
+	n := 0
+	for _, cap := range m.caps {
+		if owner == nil || cap.owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// PinnedRegions counts shared regions still wired.
+func (m *Module) PinnedRegions() int {
+	n := 0
+	for _, r := range m.regions {
+		if r.Pinned() {
+			n++
+		}
+	}
+	return n
+}
+
+// SoftwareBindings counts installed software demux entries (diagnostics).
+func (m *Module) SoftwareBindings() int { return len(m.bindings) }
 
 // UpdateTemplate amends a capability's template (the registry narrows it
 // once the remote endpoint and link address are known).

@@ -1,0 +1,119 @@
+package netio
+
+import (
+	"testing"
+
+	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/pkt"
+)
+
+// RevokeOwner reclaims everything issued to one domain — capabilities,
+// demux bindings, pinned regions — and leaves other owners untouched.
+func TestRevokeOwner(t *testing.T) {
+	w := newWorld(t, false)
+	spec, tmpl := chanSpecAndTemplate(w, link.EthHeaderLen)
+	cap1, _, err := w.m2.CreateChannel(w.krn2, spec, tmpl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := spec
+	spec2.LocalPort = 81
+	tmpl2 := tmpl
+	tmpl2.LocalPort = 81
+	cap2, _, err := w.m2.CreateChannel(w.krn2, spec2, tmpl2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := w.h2.NewDomain("other", false)
+	if err := w.m2.AssignOwner(w.app2, cap1, w.app2); err == nil {
+		t.Fatal("unprivileged owner assignment allowed")
+	}
+	if err := w.m2.AssignOwner(w.krn2, cap1, w.app2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.m2.AssignOwner(w.krn2, cap2, other); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.m2.LiveCapabilities(w.app2); got != 1 {
+		t.Fatalf("app2 capabilities = %d, want 1", got)
+	}
+	pinnedBefore := w.m2.PinnedRegions()
+
+	n, err := w.m2.RevokeOwner(w.krn2, w.app2)
+	if err != nil || n != 1 {
+		t.Fatalf("RevokeOwner = %d, %v; want 1, nil", n, err)
+	}
+	if got := w.m2.LiveCapabilities(w.app2); got != 0 {
+		t.Fatalf("app2 capabilities after revoke = %d, want 0", got)
+	}
+	if got := w.m2.LiveCapabilities(other); got != 1 {
+		t.Fatalf("other's capabilities = %d, want 1 (must survive)", got)
+	}
+	if got := w.m2.PinnedRegions(); got != pinnedBefore-1 {
+		t.Fatalf("pinned regions = %d, want %d", got, pinnedBefore-1)
+	}
+	if got := w.m2.SoftwareBindings(); got != 1 {
+		t.Fatalf("software bindings = %d, want 1", got)
+	}
+	// The revoked capability can no longer send.
+	var sendErr error
+	w.app2.Spawn("s", func(th *kern.Thread) {
+		sendErr = w.m2.Send(th, cap1, buildTCPFrame(w, link.EthHeaderLen, 80, 1025, nil))
+	})
+	w.s.Run(0)
+	if sendErr != ErrBadCapability {
+		t.Fatalf("revoked capability send err = %v, want ErrBadCapability", sendErr)
+	}
+}
+
+// A full ring is accounted as an overflow episode and prods the consumer
+// with an extra notification instead of dropping silently.
+func TestOverflowAccounting(t *testing.T) {
+	w := newWorld(t, false)
+	spec, tmpl := chanSpecAndTemplate(w, link.EthHeaderLen)
+	_, ch, err := w.m2.CreateChannel(w.krn2, spec, tmpl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.app1.Spawn("sender", func(th *kern.Thread) {
+		for i := 0; i < 6; i++ {
+			w.m1.SendKernel(th, buildTCPFrame(w, link.EthHeaderLen, 1025, 80, []byte("pkt")))
+		}
+	})
+	w.s.Run(0)
+	if ch.Dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", ch.Dropped)
+	}
+	if ch.Overflows != 1 {
+		t.Fatalf("overflow episodes = %d, want 1 (a burst is one episode)", ch.Overflows)
+	}
+	if w.m2.RxDropped != 4 {
+		t.Fatalf("module RxDropped = %d, want 4", w.m2.RxDropped)
+	}
+	if ch.HighWater != 2 {
+		t.Fatalf("high-water = %d, want 2", ch.HighWater)
+	}
+	// The ring-full prod: one notification for the enqueue transition plus
+	// one for the overflow episode.
+	if ch.Notifications != 2 {
+		t.Fatalf("notifications = %d, want 2", ch.Notifications)
+	}
+
+	// Draining and refilling starts a new episode.
+	var batch []*pkt.Buf
+	w.app2.Spawn("reader", func(th *kern.Thread) { batch = ch.TryRecv() })
+	w.app1.Spawn("sender2", func(th *kern.Thread) {
+		for i := 0; i < 3; i++ {
+			w.m1.SendKernel(th, buildTCPFrame(w, link.EthHeaderLen, 1025, 80, []byte("pkt")))
+		}
+	})
+	w.s.Run(0)
+	if len(batch) != 2 {
+		t.Fatalf("drained %d, want 2", len(batch))
+	}
+	if ch.Overflows != 2 {
+		t.Fatalf("overflow episodes = %d, want 2 after refill", ch.Overflows)
+	}
+}

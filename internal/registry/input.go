@@ -68,7 +68,7 @@ func (r *Server) inputUDP(t *kern.Thread, h ipv4.Header, data []byte) {
 		return
 	}
 	dstPort := uint16(data[2])<<8 | uint16(data[3])
-	ch, ok := r.udpChannels[dstPort]
+	ub, ok := r.udpChannels[dstPort]
 	if !ok {
 		return // port unreachable: the simplified IP library drops
 	}
@@ -82,7 +82,7 @@ func (r *Server) inputUDP(t *kern.Thread, h ipv4.Header, data []byte) {
 		lh := link.EthHeader{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
 		lh.Encode(fwd)
 	}
-	ch.Inject(fwd)
+	ub.ch.Inject(fwd)
 }
 
 func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uint16) {
@@ -109,7 +109,7 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 	// Stray default-path segment of a transferred connection (e.g. a
 	// retransmitted handshake ACK on the AN1): forward into its channel by
 	// rebuilding the frame bytes the channel consumer expects.
-	if ch, ok := r.transferred[tcp.FourTuple{Local: local, Peer: peer}]; ok {
+	if xc, ok := r.transferred[tcp.FourTuple{Local: local, Peer: peer}]; ok {
 		// Re-encode IP + link headers so the library-side input path can
 		// parse the frame uniformly.
 		ih := ipv4.Header{ID: h.ID, TTL: h.TTL, Proto: ipv4.ProtoTCP, Src: h.Src, Dst: h.Dst}
@@ -122,7 +122,7 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 			lh := link.EthHeader{Dst: r.nif.HW, Src: r.nif.HW, Type: link.TypeIPv4}
 			lh.Encode(fwd)
 		}
-		ch.Inject(fwd)
+		xc.ch.Inject(fwd)
 		return
 	}
 
@@ -131,7 +131,7 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 	// out so the BQI can ride its link header.
 	if l, ok := r.listeners[local.Port]; ok &&
 		th.Flags&tcp.FlagSYN != 0 && th.Flags&(tcp.FlagACK|tcp.FlagRST) == 0 {
-		hc := &hsConn{opts: l.opts, l: l, peerBQI: advBQI}
+		hc := &hsConn{opts: l.opts, owner: l.owner, l: l, peerBQI: advBQI}
 		if r.nif.IsAN1() {
 			t.Compute(t.Cost().BQIReserve)
 			bqi, err := r.nif.Mod.ReserveBQI(r.dom)

@@ -24,6 +24,7 @@ package registry
 import (
 	"time"
 
+	"ulp/internal/chaos"
 	"ulp/internal/filter"
 	"ulp/internal/ipv4"
 	"ulp/internal/kern"
@@ -35,10 +36,14 @@ import (
 	"ulp/internal/tcp"
 )
 
-// ConnectReq asks the registry to actively open a connection.
+// ConnectReq asks the registry to actively open a connection. Owner names
+// the application domain the connection is for, so the registry can
+// reclaim its resources if the application crashes; a nil Owner opts out
+// of crash tracking (trusted callers, tests).
 type ConnectReq struct {
 	Remote tcp.Endpoint
 	Opts   stacks.Options
+	Owner  *kern.Domain
 }
 
 // ListenReq asks the registry to listen on a port; established connections
@@ -47,6 +52,7 @@ type ListenReq struct {
 	Port       uint16
 	Opts       stacks.Options
 	AcceptPort *kern.Port
+	Owner      *kern.Domain
 }
 
 // UnlistenReq stops listening.
@@ -88,6 +94,7 @@ type InheritReq struct {
 type hsConn struct {
 	tc      *tcp.Conn
 	opts    stacks.Options
+	owner   *kern.Domain // application the connection is destined for
 	peerHW  link.Addr
 	peerBQI uint16 // peer's advertised data-phase BQI
 	ourCh   *netio.Channel
@@ -102,6 +109,28 @@ type listener struct {
 	port   uint16
 	opts   stacks.Options
 	accept *kern.Port
+	owner  *kern.Domain
+}
+
+// xferConn records a connection handed off to a library: enough state to
+// reclaim it if the owning application crashes — the channel and
+// capability to revoke, the port to release, and the sequence numbers at
+// handoff time for crafting a best-effort reset to the peer.
+type xferConn struct {
+	owner          *kern.Domain
+	ch             *netio.Channel
+	cap            *netio.Capability
+	local, peer    tcp.Endpoint
+	peerHW         link.Addr
+	peerBQI        uint16
+	sndNxt, rcvNxt tcp.Seq
+}
+
+// udpBinding records a datagram end-point for the same purpose.
+type udpBinding struct {
+	owner *kern.Domain
+	ch    *netio.Channel
+	cap   *netio.Capability
 }
 
 // Server is one host's registry.
@@ -119,19 +148,34 @@ type Server struct {
 	listeners map[uint16]*listener
 	// transferred routes stray default-path segments of handed-off
 	// connections into their channels (e.g. a retransmitted handshake ACK
-	// on the AN1 arriving at BQI zero).
-	transferred map[tcp.FourTuple]*netio.Channel
+	// on the AN1 arriving at BQI zero), and remembers what the owning
+	// application holds so a crash can be reclaimed.
+	transferred map[tcp.FourTuple]*xferConn
 	// udpChannels routes datagrams that reach the default path to their
 	// bound end-points. On the AN1 this is the common case: "the hardware
 	// packet demultiplexing mechanism is difficult to exploit because
 	// there is no separate connection setup phase that can negotiate the
 	// BQIs" — so datagrams arrive at BQI zero and are demultiplexed in
 	// software here.
-	udpChannels map[uint16]*netio.Channel
+	udpChannels map[uint16]*udpBinding
+
+	// watched marks application domains whose death hook is installed, so
+	// a domain opening many connections registers exactly one hook.
+	watched map[*kern.Domain]bool
+
+	// faults is the control-plane fault injector; nil injects nothing.
+	faults *chaos.Injector
 
 	rxq  *sim.Queue[*pkt.Buf]
 	cur  *kern.Thread
 	lock *sim.Semaphore
+}
+
+// crashReq is the internal notification a domain-death hook posts to the
+// service loop so reclamation runs on a registry thread with normal cost
+// accounting (the hook itself runs in engine context and must not block).
+type crashReq struct {
+	dom *kern.Domain
 }
 
 // New starts a registry server over a host's network I/O module.
@@ -145,8 +189,9 @@ func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
 		owned:       tcp.NewTable(),
 		conns:       make(map[*tcp.Conn]*hsConn),
 		listeners:   make(map[uint16]*listener),
-		transferred: make(map[tcp.FourTuple]*netio.Channel),
-		udpChannels: make(map[uint16]*netio.Channel),
+		transferred: make(map[tcp.FourTuple]*xferConn),
+		udpChannels: make(map[uint16]*udpBinding),
+		watched:     make(map[*kern.Domain]bool),
 	}
 	r.dom = r.host.NewDomain("registry", true)
 	r.lock = s.NewSemaphore("registry-engine", 1)
@@ -181,9 +226,26 @@ func (r *Server) nextISS() tcp.Seq {
 // Service loop: requests from libraries
 // ---------------------------------------------------------------------------
 
+// SetControlFaults installs a chaos injector for control-plane faults
+// (dropped or delayed service requests). A nil injector is the fault-free
+// fast path.
+func (r *Server) SetControlFaults(inj *chaos.Injector) { r.faults = inj }
+
 func (r *Server) serviceLoop(t *kern.Thread) {
 	for {
 		m := r.Svc.Receive(t)
+		// Internal crash notifications bypass fault injection: reclamation
+		// must run even (especially) when the control plane is misbehaving.
+		if cr, ok := m.Body.(crashReq); ok {
+			r.handleCrash(t, cr.dom)
+			continue
+		}
+		if r.faults.DropRequest() {
+			continue // the library's RPC never gets a reply
+		}
+		if d := r.faults.RequestDelay(); d > 0 {
+			t.Sleep(d)
+		}
 		switch req := m.Body.(type) {
 		case ConnectReq:
 			r.handleConnect(t, m, req)
@@ -219,7 +281,8 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	// channel itself — and on Ethernet the software demultiplexing binding
 	// — is activated as establishment completes, so handshake segments
 	// reach the registry's default path.
-	hc := &hsConn{opts: req.Opts, reply: m.Reply}
+	hc := &hsConn{opts: req.Opts, owner: req.Owner, reply: m.Reply}
+	r.watch(req.Owner)
 	if r.nif.IsAN1() {
 		t.Compute(t.Cost().BQIReserve)
 		bqi, err := r.nif.Mod.ReserveBQI(r.dom)
@@ -249,7 +312,8 @@ func (r *Server) handleListen(t *kern.Thread, m kern.Msg, req ListenReq) {
 		m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: stacks.ErrPortInUse})
 		return
 	}
-	r.listeners[req.Port] = &listener{port: req.Port, opts: req.Opts, accept: req.AcceptPort}
+	r.listeners[req.Port] = &listener{port: req.Port, opts: req.Opts, accept: req.AcceptPort, owner: req.Owner}
+	r.watch(req.Owner)
 	m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: nil})
 }
 
@@ -429,7 +493,20 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 	snap := tc.Snapshot()
 	r.owned.Remove(tc)
 	delete(r.conns, tc)
-	r.transferred[tcp.FourTuple{Local: tc.Local(), Peer: tc.Peer()}] = hc.ourCh
+	if hc.owner != nil {
+		_ = r.nif.Mod.AssignOwner(r.dom, hc.ourCap, hc.owner)
+	}
+	r.transferred[tcp.FourTuple{Local: tc.Local(), Peer: tc.Peer()}] = &xferConn{
+		owner:   hc.owner,
+		ch:      hc.ourCh,
+		cap:     hc.ourCap,
+		local:   tc.Local(),
+		peer:    tc.Peer(),
+		peerHW:  hc.peerHW,
+		peerBQI: hc.peerBQI,
+		sndNxt:  snap.SndNxt,
+		rcvNxt:  snap.RcvNxt,
+	}
 
 	ho := Handoff{
 		Snap:    snap,
@@ -457,3 +534,138 @@ func (r *Server) runEngine(t *kern.Thread, fn func()) {
 	r.cur = nil
 	r.lock.V()
 }
+
+// ---------------------------------------------------------------------------
+// Crash-failure reclamation
+// ---------------------------------------------------------------------------
+
+// watch arranges for the registry to learn of an application domain's
+// death. The hook runs in whatever context performed the kill, so it only
+// posts an async notification; real reclamation happens on the service
+// thread. One hook per domain, however many connections it opens.
+func (r *Server) watch(dom *kern.Domain) {
+	if dom == nil || r.watched[dom] {
+		return
+	}
+	r.watched[dom] = true
+	dom.OnDeath(func() {
+		r.Svc.SendAsync(kern.Msg{Op: "crash", Body: crashReq{dom: dom}})
+	})
+}
+
+// handleCrash reclaims everything a crashed application held: handshaking
+// connections are aborted (RST through the engine), transferred connections
+// have their channels destroyed, ports released and a best-effort reset sent
+// to the peer, listeners and UDP bindings are removed, and finally the
+// network I/O module sweeps any capability still recorded against the dead
+// domain. "To guard against an abnormal application termination, the
+// protocol server issues a reset message to the remote peer" — here with no
+// cooperation from the application at all.
+func (r *Server) handleCrash(t *kern.Thread, dom *kern.Domain) {
+	c := t.Cost()
+	t.Compute(c.StateTransfer)
+	delete(r.watched, dom)
+
+	// Registry-owned pcbs (handshakes in flight for the dead app): abort.
+	var dead []*hsConn
+	for _, hc := range r.conns {
+		if hc.owner == dom {
+			hc.reply = nil // no one is listening for the handoff
+			dead = append(dead, hc)
+		}
+	}
+	for _, hc := range dead {
+		tc := hc.tc
+		r.runEngine(t, func() { tc.Abort() })
+		if hc.ourCap != nil {
+			_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+		}
+	}
+
+	// Transferred connections: revoke the channel, release the port, reset
+	// the peer. The sequence numbers recorded at handoff time may be stale
+	// if the application moved data afterwards; if the peer answers the
+	// stale reset with a challenge ACK, that ACK lands on the (now
+	// reclaimed) default path below and is answered with an exactly-aimed
+	// RST by inputTCP's no-endpoint case — so the peer converges to reset
+	// either way.
+	for ft, xc := range r.transferred {
+		if xc.owner != dom {
+			continue
+		}
+		if xc.cap != nil {
+			_ = r.nif.Mod.DestroyChannel(r.dom, xc.cap)
+		}
+		delete(r.transferred, ft)
+		r.ports.Release(ft.Local.Port)
+		r.sendCrashRST(t, xc)
+	}
+
+	// Listeners and datagram bindings.
+	for port, l := range r.listeners {
+		if l.owner == dom {
+			delete(r.listeners, port)
+			r.ports.Release(port)
+		}
+	}
+	for port, ub := range r.udpChannels {
+		if ub.owner == dom {
+			if ub.cap != nil {
+				_ = r.nif.Mod.DestroyChannel(r.dom, ub.cap)
+			}
+			delete(r.udpChannels, port)
+			r.udpPorts.Release(port)
+		}
+	}
+
+	// Final sweep: the module revokes anything still issued to the dead
+	// domain, even if the registry's own records were incomplete.
+	_, _ = r.nif.Mod.RevokeOwner(r.dom, dom)
+}
+
+// sendCrashRST issues the proactive reset for a crashed application's
+// connection, from the state recorded at handoff time.
+//
+// The sequence numbers may be stale: the library moved data after handoff
+// without the registry seeing it. A stale RST is silently discarded by the
+// peer (it elicits no challenge), so the RST alone only covers a connection
+// that never advanced. The bare ACK sent after it covers the rest: an
+// out-of-window ACK makes the peer respond with its own ACK, which lands on
+// this host's default path — the tuple is already reclaimed — and is
+// answered by inputTCP's no-endpoint case with a reset aimed exactly at the
+// peer's expected sequence. Either way the peer converges to a reset.
+func (r *Server) sendCrashRST(t *kern.Thread, xc *xferConn) {
+	for _, flags := range []uint8{tcp.FlagRST | tcp.FlagACK, tcp.FlagACK} {
+		h := tcp.Header{
+			SrcPort: xc.local.Port, DstPort: xc.peer.Port,
+			Seq: xc.sndNxt, Ack: xc.rcvNxt,
+			Flags: flags,
+		}
+		b := pkt.FromBytes(r.nif.Headroom()+tcp.HeaderLen, nil)
+		h.Encode(b, xc.local.IP, xc.peer.IP)
+		c := t.Cost()
+		t.Compute(c.RegistrySendPath)
+		t.Compute(stacks.SegCost(r.host, b.Len(), false))
+		r.nif.WrapIP(b, ipv4.ProtoTCP, xc.peer.IP)
+		r.resolveAndSend(t, b, xc.peer.IP, 0, 0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection for tests and diagnostics
+// ---------------------------------------------------------------------------
+
+// OwnedConns returns how many pcbs the registry currently owns
+// (handshaking, inherited, TIME_WAIT).
+func (r *Server) OwnedConns() int { return r.owned.Len() }
+
+// TransferredConns returns how many connections are handed off to
+// libraries and not yet reclaimed.
+func (r *Server) TransferredConns() int { return len(r.transferred) }
+
+// PortsInUse returns allocated TCP plus UDP ports. Crash and orderly-exit
+// tests assert this returns to zero.
+func (r *Server) PortsInUse() int { return r.ports.InUse() + r.udpPorts.InUse() }
+
+// ListenerCount returns registered passive endpoints.
+func (r *Server) ListenerCount() int { return len(r.listeners) }

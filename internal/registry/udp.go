@@ -22,9 +22,11 @@ import (
 // channels and capabilities, and resolves peer link addresses; datagram
 // traffic then flows directly between library and network I/O module.
 
-// BindUDPReq asks the registry to allocate a datagram end-point.
+// BindUDPReq asks the registry to allocate a datagram end-point. Owner, as
+// in ConnectReq, enables crash reclamation; nil opts out.
 type BindUDPReq struct {
-	Port uint16
+	Port  uint16
+	Owner *kern.Domain
 }
 
 // UDPHandoff conveys the datagram end-point's channel and capability.
@@ -90,7 +92,11 @@ func (r *Server) handleBindUDP(t *kern.Thread, m kern.Msg, req BindUDPReq) {
 		m.ReplyTo(t, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Err: err}})
 		return
 	}
-	r.udpChannels[req.Port] = ch
+	if req.Owner != nil {
+		_ = r.nif.Mod.AssignOwner(r.dom, cap, req.Owner)
+		r.watch(req.Owner)
+	}
+	r.udpChannels[req.Port] = &udpBinding{owner: req.Owner, ch: ch, cap: cap}
 	m.ReplyTo(t, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Cap: cap, Channel: ch}})
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Proc is a simulated thread of control: a goroutine that the engine runs
 // one-at-a-time. Code inside a proc may block using the proc's primitives
@@ -8,10 +11,11 @@ import "fmt"
 // engine, which advances virtual time and resumes whichever proc or event
 // is next.
 type Proc struct {
-	s    *Sim
-	name string
-	wake chan struct{}
-	done bool
+	s      *Sim
+	name   string
+	wake   chan struct{}
+	done   bool
+	killed bool
 }
 
 // Name returns the debug name given at spawn time.
@@ -35,15 +39,50 @@ func (s *Sim) SpawnAfter(d Dur, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{s: s, name: name, wake: make(chan struct{})}
 	s.nprocs++
 	go func() {
+		// The final park runs from a defer so it executes even when the
+		// proc is torn down abruptly (Kill unwinds via runtime.Goexit).
+		defer func() {
+			p.done = true
+			s.nprocs--
+			s.parked <- struct{}{} // return control to engine
+		}()
 		<-p.wake // wait for first resume
+		if p.killed {
+			return // killed before ever running
+		}
 		fn(p)
-		p.done = true
-		s.nprocs--
-		s.parked <- struct{}{} // final park: return control to engine
 	}()
 	s.After(d, func() { s.resume(p) })
 	return p
 }
+
+// Kill tears a proc down abruptly: its goroutine unwinds at its current (or
+// next) blocking point without executing any further user code — no exit
+// path, no cleanup. This models a crashing process: whatever the proc had
+// claimed (semaphores held, queue entries, shared state) stays exactly as it
+// was at the kill point. Killing an already-dead proc is a no-op.
+//
+// Kill may be called from any simulation context. A proc that kills itself
+// (directly or by killing its own domain) keeps running until its next
+// blocking point, then dies there.
+func (s *Sim) Kill(p *Proc) {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if s.current == p {
+		return // self-kill: dies at the next park
+	}
+	// Wake the parked proc so it can unwind now; any other pending resume
+	// events for it become no-ops once done is set.
+	s.After(0, func() { s.resume(p) })
+}
+
+// Killed reports whether the proc was torn down by Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Done reports whether the proc has finished (returned or been killed).
+func (p *Proc) Done() bool { return p.done }
 
 // resume transfers control from the engine (or the currently running event
 // callback) to p, and blocks until p parks again. It must only be called
@@ -60,10 +99,17 @@ func (s *Sim) resume(p *Proc) {
 }
 
 // park returns control to the engine and blocks the proc until it is next
-// resumed.
+// resumed. A proc killed while parked unwinds here instead of returning to
+// its user code (the spawn defer performs the final park bookkeeping).
 func (p *Proc) park() {
+	if p.killed {
+		runtime.Goexit() // self-kill: die at the blocking point
+	}
 	p.s.parked <- struct{}{}
 	<-p.wake
+	if p.killed {
+		runtime.Goexit()
+	}
 }
 
 // ensureCurrent panics if called from outside the running proc; the blocking

@@ -37,12 +37,17 @@ func (m *Semaphore) TryP() bool {
 	return false
 }
 
-// V increments the semaphore, waking the longest-waiting proc if any.
+// V increments the semaphore, waking the longest-waiting live proc if any.
+// Waiters that died (were killed) while blocked are skipped so their lost
+// wakeups do not starve the remaining waiters.
 func (m *Semaphore) V() {
 	m.signals++
-	if len(m.waiters) > 0 {
+	for len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
+		if w.done || w.killed {
+			continue
+		}
 		m.s.After(0, func() { m.s.resume(w) })
 		return
 	}
@@ -78,14 +83,18 @@ func (c *Cond) Wait(p *Proc) {
 	p.park()
 }
 
-// Signal wakes the longest-waiting proc, if any.
+// Signal wakes the longest-waiting live proc, if any. Dead (killed) waiters
+// are skipped.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.done || w.killed {
+			continue
+		}
+		c.s.After(0, func() { c.s.resume(w) })
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.s.After(0, func() { c.s.resume(w) })
 }
 
 // Broadcast wakes every waiting proc.
@@ -100,6 +109,43 @@ func (c *Cond) Broadcast() {
 
 // Waiters returns the number of procs blocked in Wait.
 func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// remove deletes p from the waiter list, reporting whether it was present.
+func (c *Cond) remove(p *Proc) bool {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WaitUntil parks the proc until Signal/Broadcast wakes it or absolute time
+// deadline passes, whichever is first. It reports true if the proc was
+// signalled, false on timeout. As with Wait, callers must re-check their
+// predicate on a true return.
+func (c *Cond) WaitUntil(p *Proc, deadline Time) bool {
+	p.ensureCurrent()
+	if deadline <= c.s.now {
+		return false
+	}
+	c.waiters = append(c.waiters, p)
+	timedOut := false
+	timer := c.s.At(deadline, func() {
+		// Only fire if no Signal claimed the proc first: Signal removes
+		// the waiter synchronously, so membership decides the winner.
+		if c.remove(p) {
+			timedOut = true
+			c.s.resume(p)
+		}
+	})
+	p.park()
+	if !timedOut {
+		timer.Cancel()
+	}
+	return !timedOut
+}
 
 // Queue is an unbounded FIFO mailbox. Push may be called from any context;
 // Pop blocks the calling proc while the queue is empty.
@@ -128,6 +174,21 @@ func (q *Queue[T]) Pop(p *Proc) T {
 	v := q.items[0]
 	q.items = q.items[1:]
 	return v
+}
+
+// PopTimeout removes and returns the head, blocking at most d of virtual
+// time. It reports false if the deadline passed with the queue still empty.
+func (q *Queue[T]) PopTimeout(p *Proc, d Dur) (T, bool) {
+	deadline := q.s.now.Add(d)
+	for len(q.items) == 0 {
+		if !q.cond.WaitUntil(p, deadline) {
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
 }
 
 // TryPop removes and returns the head without blocking.

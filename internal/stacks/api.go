@@ -82,6 +82,12 @@ var (
 	ErrTimeout     = errors.New("stacks: connection timed out")
 	ErrPortInUse   = errors.New("stacks: port in use")
 	ErrUnreachable = errors.New("stacks: host unreachable")
+
+	// ErrRegistryUnavailable reports that the registry server did not
+	// answer a control-plane RPC within its bounded retry budget. Callers
+	// degrade gracefully (fail the connect/bind) instead of blocking
+	// forever on a dead or wedged server.
+	ErrRegistryUnavailable = errors.New("stacks: registry unavailable")
 )
 
 // MapError converts engine close reasons to API errors.

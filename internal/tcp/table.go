@@ -131,3 +131,7 @@ func (a *PortAlloc) Ephemeral() uint16 {
 
 // Release frees a port for reuse.
 func (a *PortAlloc) Release(p uint16) { delete(a.inUse, p) }
+
+// InUse returns the number of allocated ports. Crash-reclamation tests
+// assert this returns to zero after an application dies.
+func (a *PortAlloc) InUse() int { return len(a.inUse) }

@@ -1,0 +1,74 @@
+package tcp
+
+import "testing"
+
+// A dead peer is declared down after exactly keepMaxProbes unanswered
+// keepalive probes — the close path must not emit a ninth probe.
+func TestKeepaliveDropsAfterExactlyMaxProbes(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.KeepAliveTicks = 4 // 2 s idle
+	n := newTestNet(t, cfg)
+	n.connect()
+	// Peer falls off the network right after establishment: blackhole both
+	// directions, counting a's keepalive probes on the way out (zero
+	// payload, bare ACK, seq = snd_una-1 — below the window by design).
+	probes := 0
+	n.drop = func(dir string, h Header, pl int) bool {
+		if dir == "a->b" && pl == 0 && h.Flags == FlagACK && h.Seq == n.a.sndUna.Add(-1) {
+			probes++
+		}
+		return true
+	}
+	n.run(4 * 5 * (keepMaxProbes + 3))
+	if n.a.State() != Closed || n.aEvents.closedErr != ErrKeepalive {
+		t.Fatalf("state=%v err=%v, want Closed/ErrKeepalive", n.a.State(), n.aEvents.closedErr)
+	}
+	if probes != keepMaxProbes {
+		t.Fatalf("observed %d probes on the wire, want exactly %d", probes, keepMaxProbes)
+	}
+	if got := n.a.Stats().KeepProbes; got != keepMaxProbes {
+		t.Fatalf("stats.KeepProbes = %d, want %d", got, keepMaxProbes)
+	}
+}
+
+// The persist backoff doubles from persistMin and caps at persistMax — it
+// must neither exceed the cap nor stop re-arming once capped.
+func TestPersistBackoffCapsAtPersistMax(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.MSS = 512
+	n := newTestNet(t, cfg)
+	n.connect()
+	// Fill b's receive buffer without reading until the window closes.
+	data := pattern(12000)
+	written := n.a.Write(data)
+	for u := 0; u < 400; u++ {
+		if written < len(data) {
+			written += n.a.Write(data[written:])
+		}
+		n.tick()
+	}
+	if n.b.rcv.window() != 0 {
+		t.Fatalf("receive window = %d, want 0", n.b.rcv.window())
+	}
+	// Blackhole the wire and fire the persist timeout directly, recording
+	// each re-armed interval from a fresh shift.
+	n.drop = func(dir string, h Header, pl int) bool { return true }
+	n.a.persistShift = 0
+	var gaps []int
+	for i := 0; i < 8; i++ {
+		n.a.persistTimeout()
+		gaps = append(gaps, n.a.tPersist)
+	}
+	want := []int{20, 40, 80, 120, 120, 120, 120, 120}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("persist gaps = %v, want %v", gaps, want)
+		}
+		if gaps[i] > persistMax {
+			t.Fatalf("gap %d exceeds persistMax", gaps[i])
+		}
+	}
+	if n.a.tPersist == 0 {
+		t.Fatal("persist timer not re-armed at the cap")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"time"
 
+	"ulp/internal/chaos"
 	"ulp/internal/core"
 	"ulp/internal/costs"
 	"ulp/internal/ipv4"
@@ -119,6 +120,10 @@ type Config struct {
 	Hosts int
 	// Faults optionally injects loss/duplication/corruption/reordering.
 	Faults *wire.Faults
+	// Chaos optionally installs a full-system fault plan: wire faults,
+	// registry control-plane faults, and scheduled application crashes.
+	// Chaos's wire faults apply only when Faults is nil.
+	Chaos *chaos.FaultPlan
 	// Costs overrides the calibrated cost model (ablations).
 	Costs *costs.Model
 }
@@ -174,6 +179,8 @@ func NewWorld(cfg Config) *World {
 	seg := wire.New(s, wcfg)
 	if cfg.Faults != nil {
 		seg.SetFaults(*cfg.Faults)
+	} else if cfg.Chaos != nil {
+		seg.SetFaults(cfg.Chaos.WireFaults())
 	}
 	model := costs.Default()
 	if cfg.Costs != nil {
@@ -197,6 +204,10 @@ func NewWorld(cfg Config) *World {
 		switch cfg.Org {
 		case OrgUserLib:
 			n.Registry = registry.New(s, mod, n.IP)
+			if cfg.Chaos != nil {
+				n.Registry.SetControlFaults(chaos.NewInjector(
+					cfg.Chaos.Seed+uint64(i), cfg.Chaos.Control))
+			}
 		case OrgInKernel:
 			n.InKernel = stacks.NewInKernel(s, mod, n.IP)
 		case OrgSingleServer:
@@ -240,7 +251,8 @@ func (w *World) TraceFrames(fn func(at time.Duration, frame *pkt.Buf)) {
 	}
 }
 
-// App creates an application on the node.
+// App creates an application on the node. If the world's fault plan
+// schedules a crash matching this node and name, it is armed here.
 func (n *Node) App(name string) *App {
 	dom := n.Host.NewDomain(name, false)
 	a := &App{Node: n, Dom: dom}
@@ -253,8 +265,21 @@ func (n *Node) App(name string) *App {
 	case n.UXServer != nil:
 		a.Stack = n.UXServer
 	}
+	if plan := n.world.cfg.Chaos; plan != nil {
+		for _, cp := range plan.Crashes {
+			if cp.Host == n.Index && (cp.App == "" || cp.App == name) {
+				n.world.Sim.After(sim.Dur(cp.At), a.Crash)
+			}
+		}
+	}
 	return a
 }
+
+// Crash terminates the application abruptly: every thread is killed with no
+// exit path run. Recovery is entirely the system's problem — the registry
+// reclaims ports and connections and resets peers, and the network I/O
+// module revokes capabilities and unpins shared regions.
+func (a *App) Crash() { a.Dom.Kill() }
 
 // Go runs fn as an application thread.
 func (a *App) Go(name string, fn func(t *kern.Thread)) *kern.Thread {
