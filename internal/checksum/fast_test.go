@@ -1,0 +1,78 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastSumEquivalence drives the word-at-a-time Sum against the byte-pair
+// reference across lengths that exercise every tail combination of the
+// unrolled loop (0..64 covers the 32/8/4/2/1-byte paths and their splits),
+// plus large random regions, odd/even alignment offsets into a shared
+// backing array, and nonzero starting accumulators.
+func TestFastSumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	backing := make([]byte, 8192)
+	rng.Read(backing)
+	accs := []uint32{0, 1, 0xffff, 0x12345, 0xffffffff >> 1}
+	for length := 0; length <= 64; length++ {
+		for off := 0; off < 4; off++ {
+			b := backing[off : off+length]
+			for _, acc := range accs {
+				got := Fold(Sum(acc, b))
+				want := Fold(sumReference(acc, b))
+				if got != want {
+					t.Fatalf("len=%d off=%d acc=%#x: fast %#x, reference %#x", length, off, acc, got, want)
+				}
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		off := rng.Intn(64)
+		length := rng.Intn(len(backing) - off)
+		acc := rng.Uint32() >> 1 // headroom so the reference cannot overflow
+		b := backing[off : off+length]
+		if got, want := Fold(Sum(acc, b)), Fold(sumReference(acc, b)); got != want {
+			t.Fatalf("random case len=%d off=%d acc=%#x: fast %#x, reference %#x", length, off, acc, got, want)
+		}
+	}
+}
+
+// TestFastSumChaining verifies a region summed in arbitrary even-boundary
+// splits folds identically to summing it whole — the property the stack
+// relies on when chaining pseudo-header, header, and payload regions.
+func TestFastSumChaining(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := make([]byte, 3000)
+	rng.Read(b)
+	whole := Fold(Sum(0, b))
+	for i := 0; i < 200; i++ {
+		cut := rng.Intn(len(b)/2) * 2 // even boundary
+		split := Fold(Sum(Sum(0, b[:cut]), b[cut:]))
+		if split != whole {
+			t.Fatalf("split at %d: %#x, whole %#x", cut, split, whole)
+		}
+	}
+}
+
+// FuzzSumEquivalence is the continuous version of the equivalence check:
+// arbitrary bytes and starting accumulator must fold identically through the
+// optimized and reference summations, and Verify must agree with a
+// reference recomputation.
+func FuzzSumEquivalence(f *testing.F) {
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(0), []byte{0xff})
+	f.Add(uint32(0xffff), []byte{0x00, 0x01, 0x02})
+	f.Add(uint32(1), make([]byte, 100))
+	f.Fuzz(func(t *testing.T, acc uint32, b []byte) {
+		acc &= 0x7fffffff // headroom so the reference loop cannot overflow
+		got := Fold(Sum(acc, b))
+		want := Fold(sumReference(acc, b))
+		if got != want {
+			t.Fatalf("acc=%#x len=%d: fast %#x, reference %#x", acc, len(b), got, want)
+		}
+		if Verify(b) != (Fold(sumReference(0, b)) == 0) {
+			t.Fatalf("Verify disagrees with reference for len=%d", len(b))
+		}
+	})
+}

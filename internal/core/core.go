@@ -263,8 +263,11 @@ func (c *Conn) inputThread(t *kern.Thread) {
 	}
 }
 
-// inputFrame processes one frame from the shared region.
+// inputFrame processes one frame from the shared region. The frame dies
+// here on every path — tcp.Conn.Input copies the payload bytes it keeps —
+// so the buffer goes back to the free list when processing completes.
 func (c *Conn) inputFrame(t *kern.Thread, b *pkt.Buf) {
+	defer b.Release()
 	var et link.EtherType
 	if c.lib.reg.Netif().IsAN1() {
 		h, err := link.DecodeAN1(b)

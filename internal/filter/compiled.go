@@ -1,0 +1,630 @@
+package filter
+
+import "encoding/binary"
+
+// This file adds the compiled execution forms of the demultiplexing
+// predicates. The interpreters in filter.go stay as the reference (and as
+// the paper's cost model: the simulation still charges per *interpreted*
+// instruction); compilation is a wall-clock optimization of the simulator
+// itself. Each program compiles once, at installation time, into a chain of
+// native Go closures: because both machines only ever transfer control
+// forward (BPF jump offsets are unsigned, CSPF is jump-free), the chain is
+// built back-to-front and every step captures its successor closures
+// directly — no program counter, no opcode decode, no per-packet state
+// object, with constants and bounds hoisted at compile time. The compiled
+// forms return the same (accept, executed) pair as the interpreters on
+// every input, a property the equivalence tests enforce, so cost accounting
+// and virtual-time results are unchanged no matter which form runs.
+
+// ---------------------------------------------------------------------------
+// BPF
+// ---------------------------------------------------------------------------
+
+// bpfFn executes the program suffix starting at one instruction. State (the
+// A and X registers, the executed count n) is threaded through arguments,
+// so running a compiled program performs no allocation.
+type bpfFn func(pkt []byte, a, x uint32, n int) (bool, int)
+
+// BPFCompiled is a BPF program compiled to native closures.
+type BPFCompiled struct {
+	entry bpfFn
+}
+
+func bpfFalloff(pkt []byte, a, x uint32, n int) (bool, int) { return false, n }
+
+// Compile translates the program into a closure chain. Unknown opcodes
+// compile to a rejecting halt, and control transferred past the end of the
+// program rejects, both matching the interpreter.
+func (p BPFProgram) Compile() *BPFCompiled {
+	steps := make([]bpfFn, len(p))
+	at := func(j int) bpfFn {
+		if j >= len(p) {
+			return bpfFalloff
+		}
+		return steps[j]
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		in := p[i]
+		k := int(in.K)
+		kw := in.K
+		next := at(i + 1)
+		switch in.Op {
+		case BPFLdB:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if k >= len(pkt) {
+					return false, n
+				}
+				return next(pkt, uint32(pkt[k]), x, n)
+			}
+		case BPFLdH:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if k+2 > len(pkt) {
+					return false, n
+				}
+				return next(pkt, uint32(binary.BigEndian.Uint16(pkt[k:])), x, n)
+			}
+		case BPFLdW:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if k+4 > len(pkt) {
+					return false, n
+				}
+				return next(pkt, binary.BigEndian.Uint32(pkt[k:]), x, n)
+			}
+		case BPFLdBI:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				j := int(x) + k
+				if j >= len(pkt) {
+					return false, n
+				}
+				return next(pkt, uint32(pkt[j]), x, n)
+			}
+		case BPFLdHI:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				j := int(x) + k
+				if j+2 > len(pkt) {
+					return false, n
+				}
+				return next(pkt, uint32(binary.BigEndian.Uint16(pkt[j:])), x, n)
+			}
+		case BPFLdxMSH:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if k >= len(pkt) {
+					return false, n
+				}
+				return next(pkt, a, 4*uint32(pkt[k]&0x0f), n)
+			}
+		case BPFJEq:
+			onT, onF := at(i+1+int(in.Jt)), at(i+1+int(in.Jf))
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if a == kw {
+					return onT(pkt, a, x, n)
+				}
+				return onF(pkt, a, x, n)
+			}
+		case BPFJGt:
+			onT, onF := at(i+1+int(in.Jt)), at(i+1+int(in.Jf))
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if a > kw {
+					return onT(pkt, a, x, n)
+				}
+				return onF(pkt, a, x, n)
+			}
+		case BPFJSet:
+			onT, onF := at(i+1+int(in.Jt)), at(i+1+int(in.Jf))
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				n++
+				if a&kw != 0 {
+					return onT(pkt, a, x, n)
+				}
+				return onF(pkt, a, x, n)
+			}
+		case BPFRet:
+			acc := in.K != 0
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				return acc, n + 1
+			}
+		case BPFAndK:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				return next(pkt, a&kw, x, n+1)
+			}
+		case BPFTax:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				return next(pkt, a, a, n+1)
+			}
+		case BPFTxa:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				return next(pkt, x, x, n+1)
+			}
+		default:
+			steps[i] = func(pkt []byte, a, x uint32, n int) (bool, int) {
+				return false, n + 1
+			}
+		}
+	}
+	entry := bpfFalloff
+	if len(steps) > 0 {
+		entry = steps[0]
+	}
+	return &BPFCompiled{entry: entry}
+}
+
+// Run executes the compiled program, returning the same acceptance and
+// executed-instruction count as the interpreter.
+func (c *BPFCompiled) Run(packet []byte) (accept bool, executed int) {
+	return c.entry(packet, 0, 0, 0)
+}
+
+// ---------------------------------------------------------------------------
+// CSPF
+// ---------------------------------------------------------------------------
+
+// CSPF has no jumps, so the operand stack is fully static: the depth at
+// every instruction, and which slots hold compile-time constants, are
+// known when the program is installed. Compilation therefore partially
+// evaluates the program — constant operands fold away (a CAND's pushed 1
+// never exists at run time), and only packet-dependent values occupy
+// run-time state. That state is at most eight 16-bit values packed into
+// two uint64 "register files" threaded through the closure chain in CPU
+// registers: no stack object, no per-instruction dispatch. Because control
+// only ever exits forward, the executed-instruction count at every exit
+// site is a compile-time constant, preserving the interpreter's cost
+// accounting bit for bit.
+//
+// cspfNode executes the chain from one compiled action. ra holds dynamic
+// stack positions 0-3 (16 bits each), rb positions 4-7.
+type cspfNode func(pkt []byte, ra, rb uint64) (bool, int)
+
+// CSPFCompiled is a CSPF program compiled to native closures.
+type CSPFCompiled struct {
+	entry cspfNode
+}
+
+// cspfOperand is a symbolic stack slot: a compile-time constant or a
+// dynamic value living in register slot reg.
+type cspfOperand struct {
+	isConst bool
+	c       uint16
+	reg     int
+}
+
+// cspfGet reads an operand: the constant itself, or the operand's register
+// slot out of the packed register files.
+func cspfGet(o cspfOperand, ra, rb uint64) uint16 {
+	if o.isConst {
+		return o.c
+	}
+	if o.reg < 4 {
+		return uint16(ra >> (16 * o.reg))
+	}
+	return uint16(rb >> (16 * (o.reg - 4)))
+}
+
+// cspfSet stores v into register slot reg of (ra, rb).
+func cspfSet(reg int, v uint16, ra, rb uint64) (uint64, uint64) {
+	if reg < 4 {
+		sh := 16 * reg
+		return ra&^(0xffff<<sh) | uint64(v)<<sh, rb
+	}
+	sh := 16 * (reg - 4)
+	return ra, rb&^(0xffff<<sh) | uint64(v)<<sh
+}
+
+// cspfApply evaluates a binary operator on concrete values.
+func cspfApply(op CSPFOp, a, b uint16) uint16 {
+	var v uint16
+	switch op {
+	case CSPFEq:
+		if a == b {
+			v = 1
+		}
+	case CSPFNeq:
+		if a != b {
+			v = 1
+		}
+	case CSPFLt:
+		if a < b {
+			v = 1
+		}
+	case CSPFLe:
+		if a <= b {
+			v = 1
+		}
+	case CSPFGt:
+		if a > b {
+			v = 1
+		}
+	case CSPFGe:
+		if a >= b {
+			v = 1
+		}
+	case CSPFAnd:
+		v = a & b
+	case CSPFOr:
+		v = a | b
+	case CSPFXor:
+		v = a ^ b
+	case CSPFAdd:
+		v = a + b
+	case CSPFSub:
+		v = a - b
+	}
+	return v
+}
+
+// cspfAction is one run-time step produced by symbolic execution; purely
+// static instructions (literal pushes, constant folds, statically decided
+// short-circuits) emit no action at all.
+type cspfAction struct {
+	kind   int // 0 load, 1 binop, 2 cand, 3 cor, 4 static exit, 5 final, 6 fused load-compare, 7 fused load-binop-compare
+	off    int // load: byte offset into the packet
+	dst    int // load/binop: destination register slot
+	op     CSPFOp
+	a, b   cspfOperand
+	n      int  // static executed count at this action's exit
+	accVal bool // static exit: result
+	final  cspfOperand
+	hasTop bool
+	// Fused forms (kinds 6, 7): cmp is the comparison constant, cor selects
+	// COR (accept on match) over CAND (reject on mismatch), and n2 is the
+	// executed count when the fused load runs out of bounds (n stays the
+	// count at the comparison's exit).
+	cmp uint16
+	cor bool
+	n2  int
+}
+
+// cspfCompareConst recognizes a CAND/COR action that compares register slot
+// reg against a compile-time constant, returning the constant and whether
+// the action is a COR.
+func cspfCompareConst(a cspfAction, reg int) (c uint16, cor bool, ok bool) {
+	if a.kind != 2 && a.kind != 3 {
+		return 0, false, false
+	}
+	switch {
+	case !a.a.isConst && a.a.reg == reg && a.b.isConst:
+		c = a.b.c
+	case !a.b.isConst && a.b.reg == reg && a.a.isConst:
+		c = a.a.c
+	default:
+		return 0, false, false
+	}
+	return c, a.kind == 3, true
+}
+
+// cspfFuse runs peepholes over the action list. The code generator's two
+// field-test shapes — PushWord/PushLit/CAND and PushWord/PushLit/And/
+// PushLit/CAND — lower to a load whose register dies at the very next
+// comparison (register slots are stack positions, so a popped slot is never
+// read again). Fusing each shape into one action removes the register-file
+// traffic and most of the indirect calls from the chain.
+func cspfFuse(acts []cspfAction) []cspfAction {
+	out := make([]cspfAction, 0, len(acts))
+	for i := 0; i < len(acts); i++ {
+		a := acts[i]
+		if a.kind == 0 && i+1 < len(acts) {
+			if c, cor, ok := cspfCompareConst(acts[i+1], a.dst); ok {
+				out = append(out, cspfAction{kind: 6, off: a.off,
+					cmp: c, cor: cor, n2: a.n, n: acts[i+1].n})
+				i++
+				continue
+			}
+			if b := acts[i+1]; i+2 < len(acts) && b.kind == 1 &&
+				!b.a.isConst && b.a.reg == a.dst && b.b.isConst {
+				if c, cor, ok := cspfCompareConst(acts[i+2], b.dst); ok {
+					out = append(out, cspfAction{kind: 7, off: a.off,
+						op: b.op, b: b.b,
+						cmp: c, cor: cor, n2: a.n, n: acts[i+2].n})
+					i += 2
+					continue
+				}
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Compile translates the stack program via compile-time symbolic execution
+// into a closure chain over packed registers. Programs whose dynamic
+// values would exceed the eight register slots (never produced by
+// CompileCSPF) fall back to the reference interpreter, which is trivially
+// equivalent.
+func (p CSPFProgram) Compile() *CSPFCompiled {
+	actions, ok := p.lower()
+	if ok {
+		actions = cspfFuse(actions)
+	} else {
+		return &CSPFCompiled{entry: func(pkt []byte, ra, rb uint64) (bool, int) {
+			return p.Run(pkt)
+		}}
+	}
+	// Build the chain back to front; every action captures its successor.
+	var next cspfNode
+	for i := len(actions) - 1; i >= 0; i-- {
+		act := actions[i]
+		nx := next
+		switch act.kind {
+		case 0: // load packet word, bounds-checked
+			off, dst, failN := act.off, act.dst, act.n
+			next = func(pkt []byte, ra, rb uint64) (bool, int) {
+				if off+2 > len(pkt) {
+					return false, failN
+				}
+				ra, rb = cspfSet(dst, binary.BigEndian.Uint16(pkt[off:]), ra, rb)
+				return nx(pkt, ra, rb)
+			}
+		case 1: // binary operator into a register
+			op, a, b, dst := act.op, act.a, act.b, act.dst
+			next = func(pkt []byte, ra, rb uint64) (bool, int) {
+				v := cspfApply(op, cspfGet(a, ra, rb), cspfGet(b, ra, rb))
+				ra, rb = cspfSet(dst, v, ra, rb)
+				return nx(pkt, ra, rb)
+			}
+		case 2: // CAND: reject on mismatch
+			a, b, failN := act.a, act.b, act.n
+			next = func(pkt []byte, ra, rb uint64) (bool, int) {
+				if cspfGet(a, ra, rb) != cspfGet(b, ra, rb) {
+					return false, failN
+				}
+				return nx(pkt, ra, rb)
+			}
+		case 3: // COR: accept on match
+			a, b, succN := act.a, act.b, act.n
+			next = func(pkt []byte, ra, rb uint64) (bool, int) {
+				if cspfGet(a, ra, rb) == cspfGet(b, ra, rb) {
+					return true, succN
+				}
+				return nx(pkt, ra, rb)
+			}
+		case 4: // statically decided exit
+			acc, n := act.accVal, act.n
+			next = func(pkt []byte, ra, rb uint64) (bool, int) {
+				return acc, n
+			}
+		case 6: // fused load + compare against a constant
+			off, c, loadN, cmpN := act.off, act.cmp, act.n2, act.n
+			if act.cor {
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					if off+2 > len(pkt) {
+						return false, loadN
+					}
+					if binary.BigEndian.Uint16(pkt[off:]) == c {
+						return true, cmpN
+					}
+					return nx(pkt, ra, rb)
+				}
+			} else {
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					if off+2 > len(pkt) {
+						return false, loadN
+					}
+					if binary.BigEndian.Uint16(pkt[off:]) != c {
+						return false, cmpN
+					}
+					return nx(pkt, ra, rb)
+				}
+			}
+		case 7: // fused load + binop with a constant + compare
+			off, op, m, c, loadN, cmpN, cor := act.off, act.op, act.b.c, act.cmp, act.n2, act.n, act.cor
+			if op == CSPFAnd && !cor { // the generator's masked-field test
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					if off+2 > len(pkt) {
+						return false, loadN
+					}
+					if binary.BigEndian.Uint16(pkt[off:])&m != c {
+						return false, cmpN
+					}
+					return nx(pkt, ra, rb)
+				}
+			} else {
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					if off+2 > len(pkt) {
+						return false, loadN
+					}
+					hit := cspfApply(op, binary.BigEndian.Uint16(pkt[off:]), m) == c
+					if cor {
+						if hit {
+							return true, cmpN
+						}
+					} else if !hit {
+						return false, cmpN
+					}
+					return nx(pkt, ra, rb)
+				}
+			}
+		case 5: // normal termination: accept on non-zero top of stack
+			n := act.n
+			if !act.hasTop {
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					return false, n
+				}
+			} else if act.final.isConst {
+				acc := act.final.c != 0
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					return acc, n
+				}
+			} else {
+				top := act.final
+				next = func(pkt []byte, ra, rb uint64) (bool, int) {
+					return cspfGet(top, ra, rb) != 0, n
+				}
+			}
+		}
+	}
+	return &CSPFCompiled{entry: next}
+}
+
+// lower symbolically executes the program, producing the run-time action
+// list. It reports ok=false when a dynamic value would land beyond the
+// eight register slots.
+func (p CSPFProgram) lower() ([]cspfAction, bool) {
+	var acts []cspfAction
+	var stack []cspfOperand // symbolic stack
+	// Register slots are allocated by live-dynamic-value count, not stack
+	// position: constants occupy stack positions but no run-time slot, and
+	// the stack's LIFO discipline means dynamic values always appear on it
+	// in increasing slot order, so popping frees the highest slots. Eight
+	// live packet-dependent values is therefore the true capacity, not
+	// depth eight.
+	liveDyn := 0
+	pop2 := func() (a, b cspfOperand) {
+		a, b = stack[len(stack)-2], stack[len(stack)-1]
+		stack = stack[:len(stack)-2]
+		if !a.isConst {
+			liveDyn--
+		}
+		if !b.isConst {
+			liveDyn--
+		}
+		return a, b
+	}
+	emit := func(a cspfAction) { acts = append(acts, a) }
+	exit := func(accept bool, n int) []cspfAction {
+		emit(cspfAction{kind: 4, accVal: accept, n: n})
+		return acts
+	}
+	for i, in := range p {
+		switch in.Op {
+		case CSPFPushWord:
+			if len(stack) >= cspfStackDepth {
+				return exit(false, i+1), true
+			}
+			dst := liveDyn
+			if dst >= 8 {
+				return nil, false
+			}
+			liveDyn++
+			emit(cspfAction{kind: 0, off: int(in.Arg) * 2, dst: dst, n: i + 1})
+			stack = append(stack, cspfOperand{reg: dst})
+		case CSPFPushLit:
+			if len(stack) >= cspfStackDepth {
+				return exit(false, i+1), true
+			}
+			stack = append(stack, cspfOperand{isConst: true, c: in.Arg})
+		case CSPFCor, CSPFCand:
+			if len(stack) < 2 {
+				return exit(false, i+1), true
+			}
+			a, b := pop2()
+			if a.isConst && b.isConst {
+				// Statically decided short-circuit.
+				if in.Op == CSPFCor {
+					if a.c == b.c {
+						return exit(true, i+1), true
+					}
+					stack = append(stack, cspfOperand{isConst: true, c: 0})
+				} else {
+					if a.c != b.c {
+						return exit(false, i+1), true
+					}
+					stack = append(stack, cspfOperand{isConst: true, c: 1})
+				}
+				continue
+			}
+			if in.Op == CSPFCor {
+				emit(cspfAction{kind: 3, a: a, b: b, n: i + 1})
+				stack = append(stack, cspfOperand{isConst: true, c: 0})
+			} else {
+				emit(cspfAction{kind: 2, a: a, b: b, n: i + 1})
+				stack = append(stack, cspfOperand{isConst: true, c: 1})
+			}
+		case CSPFEq, CSPFNeq, CSPFLt, CSPFLe, CSPFGt, CSPFGe,
+			CSPFAnd, CSPFOr, CSPFXor, CSPFAdd, CSPFSub:
+			if len(stack) < 2 {
+				return exit(false, i+1), true
+			}
+			a, b := pop2()
+			if a.isConst && b.isConst {
+				stack = append(stack, cspfOperand{isConst: true, c: cspfApply(in.Op, a.c, b.c)})
+				continue
+			}
+			dst := liveDyn
+			if dst >= 8 {
+				return nil, false
+			}
+			liveDyn++
+			emit(cspfAction{kind: 1, op: in.Op, a: a, b: b, dst: dst})
+			stack = append(stack, cspfOperand{reg: dst})
+		default:
+			// The interpreter pops two then rejects through its inner
+			// default; either way this instruction rejects.
+			return exit(false, i+1), true
+		}
+	}
+	fin := cspfAction{kind: 5, n: len(p)}
+	if len(stack) > 0 {
+		fin.hasTop = true
+		fin.final = stack[len(stack)-1]
+	}
+	emit(fin)
+	return acts, true
+}
+
+// Run executes the compiled program, returning the same acceptance and
+// executed-instruction count as the interpreter.
+func (c *CSPFCompiled) Run(packet []byte) (accept bool, executed int) {
+	return c.entry(packet, 0, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Native predicate with hoisted constants
+// ---------------------------------------------------------------------------
+
+// Compile returns the native demultiplexing predicate with every constant
+// hoisted out of the per-packet path: addresses pre-packed into words, the
+// wildcard decisions taken once at compile time instead of per packet. The
+// closure accepts exactly the frames Match accepts; netio installs this
+// form for its software demux bindings.
+func (s Spec) Compile() func(frame []byte) bool {
+	l := s.LinkHdrLen
+	minLen := l + 20
+	proto := s.Proto
+	localIP := binary.BigEndian.Uint32(s.LocalIP[:])
+	localPort := s.LocalPort
+	checkRemoteIP := s.RemoteIP != ([4]byte{})
+	remoteIP := binary.BigEndian.Uint32(s.RemoteIP[:])
+	remotePort := s.RemotePort
+	return func(frame []byte) bool {
+		if len(frame) < minLen {
+			return false
+		}
+		if binary.BigEndian.Uint16(frame[l-2:]) != 0x0800 {
+			return false
+		}
+		ip := frame[l:]
+		if ip[0]>>4 != 4 {
+			return false
+		}
+		if ip[9] != proto {
+			return false
+		}
+		if binary.BigEndian.Uint32(ip[16:]) != localIP {
+			return false
+		}
+		if checkRemoteIP && binary.BigEndian.Uint32(ip[12:]) != remoteIP {
+			return false
+		}
+		if binary.BigEndian.Uint16(ip[6:])&0x1fff != 0 {
+			return false // non-first fragment: no transport header
+		}
+		ihl := int(ip[0]&0x0f) * 4
+		if ihl < 20 || len(ip) < ihl+4 {
+			return false
+		}
+		if binary.BigEndian.Uint16(ip[ihl+2:]) != localPort {
+			return false
+		}
+		if remotePort != 0 && binary.BigEndian.Uint16(ip[ihl:]) != remotePort {
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,130 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSpec produces a random demux spec, sometimes with wildcard remote
+// fields, over Ethernet or AN1 link header lengths.
+func randSpec(rng *rand.Rand) Spec {
+	s := Spec{
+		LinkHdrLen: []int{14, 16}[rng.Intn(2)],
+		Proto:      []uint8{6, 17}[rng.Intn(2)],
+		LocalPort:  uint16(rng.Intn(65536)),
+	}
+	rng.Read(s.LocalIP[:])
+	if rng.Intn(2) == 0 {
+		rng.Read(s.RemoteIP[:])
+		s.RemotePort = uint16(1 + rng.Intn(65535))
+	}
+	return s
+}
+
+// randFrame produces a frame that sometimes matches the spec, sometimes
+// differs in one field, and sometimes is random garbage or truncated —
+// covering accept paths, every reject path, and bounds handling.
+func randFrame(rng *rand.Rand, s Spec) []byte {
+	l := s.LinkHdrLen
+	n := l + 20 + 8 + rng.Intn(64)
+	f := make([]byte, n)
+	rng.Read(f)
+	switch rng.Intn(8) {
+	case 0: // pure garbage
+		return f
+	case 1: // truncated
+		return f[:rng.Intn(len(f))]
+	}
+	// Construct a matching frame, then maybe perturb one field.
+	f[l-2], f[l-1] = 0x08, 0x00
+	ihl := 5 + rng.Intn(3)
+	f[l] = 0x40 | byte(ihl)
+	f[l+6] &= 0xe0 // first fragment
+	f[l+7] = 0
+	f[l+9] = s.Proto
+	copy(f[l+12:], s.RemoteIP[:])
+	copy(f[l+16:], s.LocalIP[:])
+	tp := l + ihl*4
+	if tp+4 > len(f) {
+		return f[:rng.Intn(len(f))]
+	}
+	f[tp] = byte(s.RemotePort >> 8)
+	f[tp+1] = byte(s.RemotePort)
+	f[tp+2] = byte(s.LocalPort >> 8)
+	f[tp+3] = byte(s.LocalPort)
+	if rng.Intn(2) == 0 {
+		f[rng.Intn(len(f))] ^= 1 << rng.Intn(8) // perturb one bit anywhere
+	}
+	return f
+}
+
+// TestCompiledEquivalence verifies the three compiled forms (BPF threaded
+// code, CSPF threaded code, hoisted native predicate) agree exactly with
+// their reference implementations — acceptance AND executed instruction
+// count — over randomized specs and frames.
+func TestCompiledEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := randSpec(rng)
+		bpf := s.CompileBPF()
+		bpfc := bpf.Compile()
+		cspf := s.CompileCSPF()
+		cspfc := cspf.Compile()
+		native := s.Compile()
+		for j := 0; j < 40; j++ {
+			f := randFrame(rng, s)
+			ba, bn := bpf.Run(f)
+			ca, cn := bpfc.Run(f)
+			if ba != ca || bn != cn {
+				t.Fatalf("BPF divergence: interp (%v,%d) compiled (%v,%d)\nspec %+v\nframe %x", ba, bn, ca, cn, s, f)
+			}
+			sa, sn := cspf.Run(f)
+			ka, kn := cspfc.Run(f)
+			if sa != ka || sn != kn {
+				t.Fatalf("CSPF divergence: interp (%v,%d) compiled (%v,%d)\nspec %+v\nframe %x", sa, sn, ka, kn, s, f)
+			}
+			if got, want := native(f), s.Match(f); got != want {
+				t.Fatalf("native divergence: compiled %v, Match %v\nspec %+v\nframe %x", got, want, s, f)
+			}
+		}
+	}
+}
+
+// TestCompiledEquivalenceRandomPrograms drives arbitrary (mostly
+// meaningless) programs through both execution forms: malformed programs
+// must reject identically, with identical instruction counts, never fault.
+func TestCompiledEquivalenceRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		n := 1 + rng.Intn(24)
+		bp := make(BPFProgram, n)
+		for j := range bp {
+			bp[j] = BPFInstr{
+				Op: BPFOp(rng.Intn(14)), // includes one invalid opcode value
+				K:  uint32(rng.Intn(128)),
+				Jt: uint8(rng.Intn(6)),
+				Jf: uint8(rng.Intn(6)),
+			}
+		}
+		cp := make(CSPFProgram, n)
+		for j := range cp {
+			cp[j] = CSPFInstr{Op: CSPFOp(rng.Intn(15)), Arg: uint16(rng.Intn(64))}
+		}
+		bpc := bp.Compile()
+		cpc := cp.Compile()
+		for j := 0; j < 20; j++ {
+			f := make([]byte, rng.Intn(96))
+			rng.Read(f)
+			ba, bn := bp.Run(f)
+			ca, cn := bpc.Run(f)
+			if ba != ca || bn != cn {
+				t.Fatalf("BPF divergence on random program: interp (%v,%d) compiled (%v,%d)\nprog %+v\npkt %x", ba, bn, ca, cn, bp, f)
+			}
+			sa, sn := cp.Run(f)
+			ka, kn := cpc.Run(f)
+			if sa != ka || sn != kn {
+				t.Fatalf("CSPF divergence on random program: interp (%v,%d) compiled (%v,%d)\nprog %+v\npkt %x", sa, sn, ka, kn, cp, f)
+			}
+		}
+	}
+}

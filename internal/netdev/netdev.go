@@ -99,11 +99,9 @@ func (d *Lance) Stats() Stats             { return d.stats }
 func (d *Lance) Transmit(t *kern.Thread, b *pkt.Buf) {
 	if pad := link.EthHeaderLen + link.EthMinPayload - b.Len(); pad > 0 {
 		// Pad to the Ethernet minimum; padding bytes cross the PIO path too.
-		old := b.Len()
-		grown := pkt.New(0, old+pad)
-		copy(grown.Bytes(), b.Bytes())
-		grown.Meta = b.Meta
-		b = grown
+		// Extend grows in place when storage allows (always, for pooled
+		// minimum-size frames) instead of copying into a fresh buffer.
+		b.Extend(pad)
 	}
 	c := t.Cost()
 	t.Compute(c.DeviceCSR + c.LancePIO(b.Len()) + c.DeviceCSR)
@@ -123,7 +121,8 @@ func (d *Lance) Transmit(t *kern.Thread, b *pkt.Buf) {
 // the installed receive handler.
 func (d *Lance) Deliver(b *pkt.Buf) {
 	if hdr, err := link.PeekEth(b); err != nil || (hdr.Dst != d.addr && !hdr.Dst.IsBroadcast()) {
-		return // address filter in the controller
+		b.Release() // address filter in the controller
+		return
 	}
 	c := &d.host.Cost
 	d.host.ComputeAsync(c.InterruptDispatch+c.LancePIO(b.Len()), func() {
@@ -133,6 +132,7 @@ func (d *Lance) Deliver(b *pkt.Buf) {
 			d.handler(b)
 		} else {
 			d.stats.RxDropped++
+			b.Release()
 		}
 	})
 }
@@ -245,6 +245,7 @@ func (d *AN1) Transmit(t *kern.Thread, b *pkt.Buf) {
 func (d *AN1) Deliver(b *pkt.Buf) {
 	hdr, err := link.PeekAN1(b)
 	if err != nil || (hdr.Dst != d.addr && !hdr.Dst.IsBroadcast()) {
+		b.Release()
 		return
 	}
 	ring, ok := d.rings[hdr.BQI]
@@ -253,6 +254,7 @@ func (d *AN1) Deliver(b *pkt.Buf) {
 		ring, ok = d.rings[0]
 		if !ok {
 			d.stats.RxDropped++
+			b.Release()
 			return
 		}
 		b.Meta.BQI = 0
@@ -262,6 +264,7 @@ func (d *AN1) Deliver(b *pkt.Buf) {
 	if ring.status.InUse >= ring.status.Capacity {
 		ring.status.Dropped++
 		d.stats.RxDropped++
+		b.Release()
 		return
 	}
 	ring.status.InUse++

@@ -213,6 +213,7 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 			ch.Notifications++
 			ch.sem.V()
 		}
+		b.Release()
 		return
 	}
 	ch.overflowed = false
@@ -306,6 +307,8 @@ func (m *Module) rxSoftware(b *pkt.Buf) {
 	m.DemuxDefault++
 	if m.defaultRx != nil {
 		m.defaultRx(b)
+	} else {
+		b.Release()
 	}
 }
 
@@ -336,7 +339,7 @@ func (m *Module) CreateChannel(from *kern.Domain, spec filter.Spec, tmpl Templat
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(spec.Match, tmpl, ringSize, 0)
+	return m.createChannel(spec.Compile(), tmpl, ringSize, 0)
 }
 
 // CreateChannelBQI is CreateChannel with a previously reserved BQI.
@@ -344,7 +347,7 @@ func (m *Module) CreateChannelBQI(from *kern.Domain, spec filter.Spec, tmpl Temp
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(spec.Match, tmpl, ringSize, bqi)
+	return m.createChannel(spec.Compile(), tmpl, ringSize, bqi)
 }
 
 // CreateRawChannel builds a channel demultiplexed by EtherType alone, for

@@ -2,6 +2,9 @@
 // byte buffer with reserved headroom so that successive protocol layers can
 // prepend their headers without copying (the classic mbuf/skbuff trick), plus
 // the metadata that rides along with a packet through the simulation.
+//
+// Buffers come from a size-classed free list (see pool.go) and are returned
+// to it with Release, so the steady-state packet path allocates nothing.
 package pkt
 
 import "fmt"
@@ -9,8 +12,10 @@ import "fmt"
 // Buf is a packet buffer. The valid packet bytes are data[off:]; the region
 // data[:off] is headroom available for prepending headers.
 type Buf struct {
-	data []byte
-	off  int
+	data     []byte
+	off      int
+	cls      int8 // storage size class; -1 when not pool-managed
+	released bool
 
 	// Meta carries simulation-side metadata; it is not part of the bytes on
 	// the wire.
@@ -32,15 +37,20 @@ type Meta struct {
 }
 
 // New allocates a buffer with the given headroom and payload size. The
-// payload region is zeroed.
+// payload region (and headroom) is zeroed, even when the storage is recycled.
 func New(headroom, size int) *Buf {
-	return &Buf{data: make([]byte, headroom+size), off: headroom}
+	b := getBuf(headroom + size)
+	zero(b.data)
+	b.off = headroom
+	return b
 }
 
 // FromBytes builds a buffer around a copy of p with the given headroom.
 func FromBytes(headroom int, p []byte) *Buf {
-	b := New(headroom, len(p))
-	copy(b.Bytes(), p)
+	b := getBuf(headroom + len(p))
+	zero(b.data[:headroom])
+	copy(b.data[headroom:], p)
+	b.off = headroom
 	return b
 }
 
@@ -85,11 +95,60 @@ func (b *Buf) Trim(n int) {
 	b.data = b.data[:b.off+n]
 }
 
+// Extend grows the packet by n bytes at the tail and returns the new, zeroed
+// tail region. When spare storage capacity exists (the common case for
+// pooled buffers, whose storage is a full size class) the growth is in
+// place; otherwise the buffer migrates to a larger size class, growing
+// geometrically so repeated extension is amortized O(1) instead of the old
+// copy-everything-per-growth behaviour. Slices previously obtained from the
+// buffer are invalidated by a migrating Extend.
+func (b *Buf) Extend(n int) []byte {
+	old := len(b.data)
+	want := old + n
+	if want <= cap(b.data) {
+		b.data = b.data[:want]
+		tail := b.data[old:]
+		zero(tail)
+		return tail
+	}
+	// Migrate to larger storage: at least double, so growth is geometric.
+	newCap := 2 * cap(b.data)
+	if newCap < want {
+		newCap = want
+	}
+	cls := classFor(newCap)
+	var nd []byte
+	if cls >= 0 {
+		pool.mu.Lock()
+		if lst := pool.data[cls]; len(lst) > 0 {
+			nd = lst[len(lst)-1]
+			lst[len(lst)-1] = nil
+			pool.data[cls] = lst[:len(lst)-1]
+		}
+		pool.mu.Unlock()
+		if nd == nil {
+			nd = make([]byte, classSizes[cls])
+		}
+	} else {
+		nd = make([]byte, newCap)
+	}
+	nd = nd[:want]
+	copy(nd, b.data)
+	zero(nd[old:])
+	putData(b.data, b.cls)
+	b.data = nd
+	b.cls = cls
+	return nd[old:]
+}
+
 // Clone deep-copies the buffer, preserving headroom and metadata. Used by
 // the wire for duplication faults and by devices that must retain a packet
-// across retransmission.
+// across retransmission. The clone is independently owned and must be
+// Released separately.
 func (b *Buf) Clone() *Buf {
-	nb := &Buf{data: make([]byte, len(b.data)), off: b.off, Meta: b.Meta}
+	nb := getBuf(len(b.data))
+	nb.off = b.off
+	nb.Meta = b.Meta
 	copy(nb.data, b.data)
 	return nb
 }

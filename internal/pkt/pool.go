@@ -1,0 +1,118 @@
+package pkt
+
+import "sync"
+
+// The allocator keeps per-size-class free lists of buffer storage and of Buf
+// structs, so the steady-state packet path performs no heap allocation: a
+// released buffer's storage is recycled by the next New/FromBytes/Clone of a
+// compatible size. Classes cover the stack's real frame population — control
+// segments (bare headers), Ethernet MTU frames, and AN1 jumbo frames.
+//
+// Lifecycle rules (see DESIGN.md "Wall-clock performance"):
+//
+//   - Exactly one owner at a time. Passing a buffer to Transmit/Deliver
+//     transfers ownership; cloning creates an independently owned copy.
+//   - The owner at a packet's death point calls Release. Releasing twice, or
+//     touching a buffer (or any slice obtained from it) after Release, is a
+//     lifecycle bug; double release panics.
+//   - Recycled storage is zeroed on reallocation, so a leaked reference can
+//     never observe another packet's bytes and New's documented "payload
+//     region is zeroed" contract holds.
+//
+// The free lists are guarded by a mutex (cheap, uncontended in the
+// single-threaded engine; safe for parallel tests running multiple sims).
+
+// classSizes are the storage capacities, smallest first. The largest covers
+// a 64 KB AN1 jumbo frame plus link/IP/TCP headers and headroom slack.
+var classSizes = [...]int{256, 2048, 16384, 66560}
+
+type freeLists struct {
+	mu   sync.Mutex
+	data [len(classSizes)][][]byte
+	bufs []*Buf
+}
+
+var pool freeLists
+
+// classFor returns the smallest class index fitting n bytes, or -1 when n
+// exceeds every class (the buffer is then heap-allocated and not recycled).
+func classFor(n int) int8 {
+	for i, c := range classSizes {
+		if n <= c {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
+// getBuf produces a Buf whose storage holds at least size bytes, recycled
+// when possible. data is sized to exactly size bytes and is NOT zeroed;
+// callers overwrite or zero it.
+func getBuf(size int) *Buf {
+	cls := classFor(size)
+	var b *Buf
+	var data []byte
+	pool.mu.Lock()
+	if n := len(pool.bufs); n > 0 {
+		b = pool.bufs[n-1]
+		pool.bufs[n-1] = nil
+		pool.bufs = pool.bufs[:n-1]
+	}
+	if cls >= 0 {
+		if lst := pool.data[cls]; len(lst) > 0 {
+			data = lst[len(lst)-1]
+			lst[len(lst)-1] = nil
+			pool.data[cls] = lst[:len(lst)-1]
+		}
+	}
+	pool.mu.Unlock()
+	if data == nil {
+		if cls >= 0 {
+			data = make([]byte, classSizes[cls])
+		} else {
+			data = make([]byte, size)
+		}
+	}
+	if b == nil {
+		b = &Buf{}
+	}
+	*b = Buf{data: data[:size], cls: cls}
+	return b
+}
+
+// putData returns a storage slice of class cls to its free list.
+func putData(data []byte, cls int8) {
+	if cls < 0 {
+		return
+	}
+	data = data[:cap(data)]
+	pool.mu.Lock()
+	pool.data[cls] = append(pool.data[cls], data)
+	pool.mu.Unlock()
+}
+
+// Release returns the buffer to the allocator once the owner is done with
+// it. The caller must not touch the buffer (or any slice obtained from it)
+// afterwards. Releasing a buffer twice panics: it would hand the same
+// storage to two owners.
+func (b *Buf) Release() {
+	if b.released {
+		panic("pkt: buffer released twice")
+	}
+	b.released = true
+	data, cls := b.data, b.cls
+	b.data = nil
+	pool.mu.Lock()
+	if cls >= 0 {
+		pool.data[cls] = append(pool.data[cls], data[:cap(data)])
+	}
+	pool.bufs = append(pool.bufs, b)
+	pool.mu.Unlock()
+}
+
+// zero clears p (the compiler lowers this loop to memclr).
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}

@@ -1,0 +1,192 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// drain empties the free lists so a test observes deterministic recycling.
+func drain() {
+	pool.mu.Lock()
+	for i := range pool.data {
+		pool.data[i] = nil
+	}
+	pool.bufs = nil
+	pool.mu.Unlock()
+}
+
+// TestReleaseRecycles verifies a released buffer's storage is reused by the
+// next allocation of a compatible size.
+func TestReleaseRecycles(t *testing.T) {
+	drain()
+	a := New(14, 100)
+	stored := &a.data[0]
+	a.Release()
+	b := New(14, 100)
+	if &b.data[0] != stored {
+		t.Fatal("released storage was not recycled")
+	}
+	b.Release()
+}
+
+// TestRecycledStorageZeroed verifies the documented New contract — payload
+// zeroed — holds for recycled storage, so a stale reference to released
+// storage can never observe another packet's bytes, and a fresh packet can
+// never leak a dead packet's bytes onto the wire.
+func TestRecycledStorageZeroed(t *testing.T) {
+	drain()
+	a := New(0, 64)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = 0xAA
+	}
+	a.Release()
+
+	b := New(0, 64)
+	for i, v := range b.Bytes() {
+		if v != 0 {
+			t.Fatalf("recycled byte %d = %#x, want 0 (stale bytes leaked)", i, v)
+		}
+	}
+	b.Release()
+
+	// FromBytes must likewise leave no stale bytes in its headroom region.
+	c := New(0, 64)
+	for i := range c.Bytes() {
+		c.Bytes()[i] = 0xBB
+	}
+	c.Release()
+	d := FromBytes(20, []byte{1, 2, 3})
+	hdr := d.Prepend(20)
+	for i, v := range hdr {
+		if v != 0 {
+			t.Fatalf("recycled headroom byte %d = %#x, want 0", i, v)
+		}
+	}
+	if !bytes.Equal(d.Bytes()[20:], []byte{1, 2, 3}) {
+		t.Fatal("payload corrupted")
+	}
+	d.Release()
+}
+
+// TestRetainedBufferNotAliased verifies a live (unreleased) buffer's storage
+// is never handed to a new allocation: writes through the new buffer must
+// not show through the retained one.
+func TestRetainedBufferNotAliased(t *testing.T) {
+	drain()
+	retained := New(0, 128)
+	for i := range retained.Bytes() {
+		retained.Bytes()[i] = 0x5A
+	}
+	snapshot := append([]byte(nil), retained.Bytes()...)
+
+	other := New(0, 128)
+	for i := range other.Bytes() {
+		other.Bytes()[i] = 0xC3
+	}
+	if !bytes.Equal(retained.Bytes(), snapshot) {
+		t.Fatal("retained buffer mutated by an unrelated allocation")
+	}
+	other.Release()
+	retained.Release()
+}
+
+// TestDoubleReleasePanics verifies the lifecycle guard.
+func TestDoubleReleasePanics(t *testing.T) {
+	b := New(0, 8)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestCloneIndependent verifies a clone has its own storage and lifecycle.
+func TestCloneIndependent(t *testing.T) {
+	a := FromBytes(4, []byte{9, 8, 7})
+	c := a.Clone()
+	a.Bytes()[0] = 1
+	if c.Bytes()[0] != 9 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Headroom() != 4 {
+		t.Fatalf("clone headroom = %d, want 4", c.Headroom())
+	}
+	a.Release()
+	if c.Bytes()[1] != 8 {
+		t.Fatal("clone damaged by original's release")
+	}
+	c.Release()
+}
+
+// TestExtendInPlace verifies tail growth within spare capacity keeps the
+// same storage and zeroes the new region.
+func TestExtendInPlace(t *testing.T) {
+	drain()
+	b := FromBytes(0, []byte{1, 2, 3})
+	stored := &b.data[0]
+	tail := b.Extend(5)
+	if len(tail) != 5 {
+		t.Fatalf("tail len = %d, want 5", len(tail))
+	}
+	if &b.data[0] != stored {
+		t.Fatal("in-capacity Extend migrated storage")
+	}
+	want := []byte{1, 2, 3, 0, 0, 0, 0, 0}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("Bytes = %v, want %v", b.Bytes(), want)
+	}
+	b.Release()
+}
+
+// TestExtendMigrates verifies growth past capacity moves to a larger size
+// class, preserves contents, zeroes the tail, and recycles the old storage.
+func TestExtendMigrates(t *testing.T) {
+	drain()
+	b := New(0, classSizes[0]) // exactly fills the smallest class
+	for i := range b.Bytes() {
+		b.Bytes()[i] = byte(i)
+	}
+	old := append([]byte(nil), b.Bytes()...)
+	b.Extend(64)
+	if b.Len() != classSizes[0]+64 {
+		t.Fatalf("len = %d, want %d", b.Len(), classSizes[0]+64)
+	}
+	if !bytes.Equal(b.Bytes()[:classSizes[0]], old) {
+		t.Fatal("Extend lost contents during migration")
+	}
+	for i, v := range b.Bytes()[classSizes[0]:] {
+		if v != 0 {
+			t.Fatalf("extended byte %d = %#x, want 0", i, v)
+		}
+	}
+	// The abandoned class-0 storage must be back on its free list.
+	pool.mu.Lock()
+	n := len(pool.data[0])
+	pool.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("old storage not recycled: class-0 free list has %d entries, want 1", n)
+	}
+	b.Release()
+}
+
+// TestOversizeUnpooled verifies allocations beyond every size class still
+// work and Release accepts them without recycling their storage.
+func TestOversizeUnpooled(t *testing.T) {
+	drain()
+	huge := classSizes[len(classSizes)-1] + 1
+	b := New(0, huge)
+	if b.Len() != huge {
+		t.Fatalf("len = %d, want %d", b.Len(), huge)
+	}
+	b.Bytes()[huge-1] = 0xFF
+	b.Release()
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	for i, lst := range pool.data {
+		if len(lst) != 0 {
+			t.Fatalf("oversize storage landed on class %d free list", i)
+		}
+	}
+}

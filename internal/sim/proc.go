@@ -52,7 +52,7 @@ func (s *Sim) SpawnAfter(d Dur, name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	s.After(d, func() { s.resume(p) })
+	s.scheduleResume(d, p)
 	return p
 }
 
@@ -75,7 +75,7 @@ func (s *Sim) Kill(p *Proc) {
 	}
 	// Wake the parked proc so it can unwind now; any other pending resume
 	// events for it become no-ops once done is set.
-	s.After(0, func() { s.resume(p) })
+	s.scheduleResume(0, p)
 }
 
 // Killed reports whether the proc was torn down by Kill.
@@ -123,10 +123,7 @@ func (p *Proc) ensureCurrent() {
 // Sleep blocks the proc for d of virtual time.
 func (p *Proc) Sleep(d Dur) {
 	p.ensureCurrent()
-	if d < 0 {
-		d = 0
-	}
-	p.s.After(d, func() { p.s.resume(p) })
+	p.s.scheduleResume(d, p)
 	p.park()
 }
 

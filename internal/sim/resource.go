@@ -50,6 +50,24 @@ func (r *Resource) UseAsync(d Dur, fn func()) {
 	}
 }
 
+// UseAsyncArg is UseAsync with an argument-carrying callback: fn is
+// typically a static function and arg a pooled object, so reserving compute
+// on the packet hot path allocates nothing.
+func (r *Resource) UseAsyncArg(d Dur, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	start := r.s.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start.Add(d)
+	r.busy += d
+	if fn != nil {
+		r.s.AtArg(r.freeAt, fn, arg)
+	}
+}
+
 // FreeAt returns the time at which all currently reserved work completes.
 func (r *Resource) FreeAt() Time { return r.freeAt }
 

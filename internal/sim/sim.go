@@ -8,10 +8,17 @@
 // fully sequential semantics — protocol and application code can be written
 // in a natural blocking style with no data races and no wall-clock
 // dependence — while the (time, seq) ordering makes every run reproducible.
+//
+// The engine is built for wall-clock speed as well as determinism: event
+// records live on an internal free list (no allocation per scheduled event),
+// the ready queue is a flat 4-ary array heap (no container/heap interface
+// dispatch, better cache behaviour than a binary pointer heap), cancelled
+// timers are removed eagerly rather than left to surface at their deadline,
+// and the hot schedulings (proc resume, argument-carrying callbacks) avoid
+// closure allocations entirely.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -33,40 +40,35 @@ func (t Time) Add(d Dur) Time { return t + Time(d) }
 // Sub returns the duration from u to t.
 func (t Time) Sub(u Time) Dur { return Dur(t - u) }
 
+// event is one pooled event record. Exactly one of fn, fnArg, or proc is
+// set: fn is a plain callback, fnArg is called with arg (letting hot paths
+// schedule static functions without a closure allocation), and proc resumes
+// a parked proc. gen distinguishes a live record from a recycled one so
+// stale Timers cannot cancel an unrelated event.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int
-	dead bool
+	at      Time
+	seq     uint64
+	fn      func()
+	fnArg   func(any)
+	arg     any
+	proc    *Proc
+	gen     uint32
+	heapIdx int32 // index in Sim.heap; -1 when free or already fired
 }
 
-type eventHeap []*event
+// heapEnt is one ready-queue entry. The ordering key is kept inline so sift
+// comparisons never chase the record pointer.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	rec int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim is a discrete-event simulation instance. It is not safe for concurrent
@@ -76,7 +78,9 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []heapEnt
+	records []event
+	free    []int32       // free-list of record slots (LIFO)
 	parked  chan struct{} // proc -> engine: "I have parked"
 	current *Proc
 	nprocs  int // live procs (started, not yet finished)
@@ -91,33 +95,174 @@ func New() *Sim {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
-// Timer identifies a scheduled event so it can be cancelled.
-type Timer struct{ e *event }
+// ---------------------------------------------------------------------------
+// Event pool and 4-ary heap
+// ---------------------------------------------------------------------------
 
-// Cancel prevents the timer's callback from running. Cancelling an already
-// fired or already cancelled timer is a no-op. It reports whether the
-// callback was still pending.
+// alloc takes a record from the free list (or grows the arena) and pushes it
+// onto the heap, returning the slot index.
+func (s *Sim) alloc(at Time) int32 {
+	var rec int32
+	if n := len(s.free); n > 0 {
+		rec = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.records = append(s.records, event{})
+		rec = int32(len(s.records) - 1)
+	}
+	e := &s.records[rec]
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	s.heapPush(heapEnt{at: e.at, seq: e.seq, rec: rec})
+	return rec
+}
+
+// release clears a record's payload and returns the slot to the free list.
+// The generation bump invalidates any Timer still holding the slot.
+func (s *Sim) release(rec int32) {
+	e := &s.records[rec]
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	e.proc = nil
+	e.gen++
+	e.heapIdx = -1
+	s.free = append(s.free, rec)
+}
+
+func (s *Sim) heapPush(ent heapEnt) {
+	s.heap = append(s.heap, ent)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapRemove deletes the entry at heap index i, restoring heap order.
+func (s *Sim) heapRemove(i int) {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap = s.heap[:n]
+	if i == n {
+		return
+	}
+	s.heap[i] = last
+	s.records[last.rec].heapIdx = int32(i)
+	j := s.siftDown(i)
+	s.siftUp(j)
+}
+
+func (s *Sim) siftUp(i int) {
+	ent := s.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entLess(ent, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.records[s.heap[i].rec].heapIdx = int32(i)
+		i = p
+	}
+	s.heap[i] = ent
+	s.records[ent.rec].heapIdx = int32(i)
+}
+
+// siftDown restores heap order below i, returning the entry's final index.
+func (s *Sim) siftDown(i int) int {
+	n := len(s.heap)
+	ent := s.heap[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(s.heap[j], s.heap[m]) {
+				m = j
+			}
+		}
+		if !entLess(s.heap[m], ent) {
+			break
+		}
+		s.heap[i] = s.heap[m]
+		s.records[s.heap[i].rec].heapIdx = int32(i)
+		i = m
+	}
+	s.heap[i] = ent
+	s.records[ent.rec].heapIdx = int32(i)
+	return i
+}
+
+// ---------------------------------------------------------------------------
+// Timers and scheduling
+// ---------------------------------------------------------------------------
+
+// Timer identifies a scheduled event so it can be cancelled. The zero Timer
+// is inert.
+type Timer struct {
+	s   *Sim
+	rec int32
+	gen uint32
+}
+
+// Cancel prevents the timer's callback from running. The event is removed
+// from the heap immediately (its record returns to the free list), so a
+// cancel-heavy workload — a connection re-arming its retransmission timer on
+// every segment — cannot accumulate dead events until their deadlines pass.
+// Cancelling an already fired or already cancelled timer is a no-op. It
+// reports whether the callback was still pending.
 func (t Timer) Cancel() bool {
-	if t.e == nil || t.e.dead {
+	if t.s == nil {
 		return false
 	}
-	t.e.dead = true
+	e := &t.s.records[t.rec]
+	if e.gen != t.gen || e.heapIdx < 0 {
+		return false
+	}
+	t.s.heapRemove(int(e.heapIdx))
+	t.s.release(t.rec)
 	return true
 }
 
 // Pending reports whether the timer's callback has yet to run.
-func (t Timer) Pending() bool { return t.e != nil && !t.e.dead }
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
+	}
+	e := &t.s.records[t.rec]
+	return e.gen == t.gen && e.heapIdx >= 0
+}
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: it would silently corrupt causality.
-func (s *Sim) At(at Time, fn func()) Timer {
+// checkPast panics on scheduling in the past: it would silently corrupt
+// causality.
+func (s *Sim) checkPast(at Time) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, e)
-	return Timer{e}
+}
+
+// At schedules fn to run at absolute virtual time at.
+func (s *Sim) At(at Time, fn func()) Timer {
+	s.checkPast(at)
+	rec := s.alloc(at)
+	e := &s.records[rec]
+	e.fn = fn
+	return Timer{s: s, rec: rec, gen: e.gen}
+}
+
+// AtArg schedules fn(arg) at absolute virtual time at. Because fn is
+// typically a static function and arg a pooled object, this path performs no
+// closure allocation — it is the form the packet hot path uses.
+func (s *Sim) AtArg(at Time, fn func(any), arg any) Timer {
+	s.checkPast(at)
+	rec := s.alloc(at)
+	e := &s.records[rec]
+	e.fnArg = fn
+	e.arg = arg
+	return Timer{s: s, rec: rec, gen: e.gen}
 }
 
 // After schedules fn to run d from now.
@@ -128,9 +273,45 @@ func (s *Sim) After(d Dur, fn func()) Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// AfterArg schedules fn(arg) to run d from now, without allocating.
+func (s *Sim) AfterArg(d Dur, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArg(s.now.Add(d), fn, arg)
+}
+
+// scheduleResume schedules p to be resumed d from now. This is the proc
+// handoff fast path: no closure, no allocation beyond the pooled record.
+func (s *Sim) scheduleResume(d Dur, p *Proc) {
+	if d < 0 {
+		d = 0
+	}
+	rec := s.alloc(s.now.Add(d))
+	s.records[rec].proc = p
+}
+
 // Stop terminates the run loop after the current event or proc step
 // completes. Pending events are discarded.
 func (s *Sim) Stop() { s.stopped = true }
+
+// fire pops the root event and executes it.
+func (s *Sim) fire() {
+	rec := s.heap[0].rec
+	s.heapRemove(0)
+	e := &s.records[rec]
+	s.now = e.at
+	fn, fnArg, arg, proc := e.fn, e.fnArg, e.arg, e.proc
+	s.release(rec)
+	switch {
+	case proc != nil:
+		s.resume(proc)
+	case fnArg != nil:
+		fnArg(arg)
+	default:
+		fn()
+	}
+}
 
 // Run executes events until the heap is empty, the time limit is exceeded,
 // or Stop is called. A limit of 0 means no limit. It returns the virtual
@@ -144,18 +325,12 @@ func (s *Sim) Run(limit Dur) Time {
 		end = s.now.Add(limit)
 	}
 	s.stopped = false
-	for !s.stopped && len(s.events) > 0 {
-		e := s.events[0]
-		if e.at > end {
+	for !s.stopped && len(s.heap) > 0 {
+		if s.heap[0].at > end {
 			s.now = end
 			break
 		}
-		heap.Pop(&s.events)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		e.fn()
+		s.fire()
 	}
 	return s.now
 }
@@ -168,24 +343,22 @@ func (s *Sim) RunUntil(limit Dur, pred func() bool) Time {
 		end = s.now.Add(limit)
 	}
 	s.stopped = false
-	for !s.stopped && !pred() && len(s.events) > 0 {
-		e := s.events[0]
-		if e.at > end {
+	for !s.stopped && !pred() && len(s.heap) > 0 {
+		if s.heap[0].at > end {
 			s.now = end
 			break
 		}
-		heap.Pop(&s.events)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		e.fn()
+		s.fire()
 	}
 	return s.now
 }
 
 // Idle reports whether no events remain.
-func (s *Sim) Idle() bool { return len(s.events) == 0 }
+func (s *Sim) Idle() bool { return len(s.heap) == 0 }
+
+// PendingEvents returns the number of scheduled (live) events, for tests
+// asserting that cancellation keeps the heap bounded.
+func (s *Sim) PendingEvents() int { return len(s.heap) }
 
 // Procs returns the number of procs that have been started and have not yet
 // returned.

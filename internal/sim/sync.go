@@ -48,7 +48,7 @@ func (m *Semaphore) V() {
 		if w.done || w.killed {
 			continue
 		}
-		m.s.After(0, func() { m.s.resume(w) })
+		m.s.scheduleResume(0, w)
 		return
 	}
 	m.count++
@@ -92,7 +92,7 @@ func (c *Cond) Signal() {
 		if w.done || w.killed {
 			continue
 		}
-		c.s.After(0, func() { c.s.resume(w) })
+		c.s.scheduleResume(0, w)
 		return
 	}
 }
@@ -102,8 +102,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, w := range ws {
-		w := w
-		c.s.After(0, func() { c.s.resume(w) })
+		c.s.scheduleResume(0, w)
 	}
 }
 

@@ -12,6 +12,7 @@ package wire
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"ulp/internal/link"
@@ -185,17 +186,49 @@ func (g *Segment) Transmit(src, dst link.Addr, b *pkt.Buf) {
 		g.TraceFrame(b, g.s.Now())
 	}
 	tx := g.TxTime(b.Len())
-	res.UseAsync(tx, func() {
-		g.propagate(src, dst, b)
-	})
+	f := inflightPool.Get().(*inflight)
+	*f = inflight{g: g, src: src, dst: dst, b: b}
+	res.UseAsyncArg(tx, propagateCB, f)
 }
 
-// propagate handles fault injection and schedules final delivery.
-func (g *Segment) propagate(src, dst link.Addr, b *pkt.Buf) {
+// inflight carries one frame through the transmit -> propagate -> deliver
+// pipeline. Records are pooled and the stage callbacks are static functions,
+// so a frame crossing the wire costs no closure allocations.
+type inflight struct {
+	g        *Segment
+	src, dst link.Addr
+	b        *pkt.Buf
+}
+
+var inflightPool = sync.Pool{New: func() any { return new(inflight) }}
+
+func (f *inflight) put() {
+	*f = inflight{}
+	inflightPool.Put(f)
+}
+
+func propagateCB(a any) {
+	f := a.(*inflight)
+	f.g.propagate(f)
+}
+
+func deliverCB(a any) {
+	f := a.(*inflight)
+	g, src, dst, b := f.g, f.src, f.dst, f.b
+	f.put()
+	g.deliver(src, dst, b)
+}
+
+// propagate handles fault injection and schedules final delivery. It takes
+// over ownership of f (and the frame it carries).
+func (g *Segment) propagate(f *inflight) {
+	b := f.b
 	delay := g.cfg.Propagation
 	if g.faults.active() {
 		if g.rng.Float64() < g.faults.LossProb {
 			g.framesDropped++
+			f.put()
+			b.Release()
 			return
 		}
 		if g.rng.Float64() < g.faults.CorruptProb && b.Len() > 0 {
@@ -206,31 +239,50 @@ func (g *Segment) propagate(src, dst link.Addr, b *pkt.Buf) {
 		}
 		if g.rng.Float64() < g.faults.DupProb {
 			g.framesDuplicated++
-			dup := b.Clone()
-			g.s.After(delay, func() { g.deliver(src, dst, dup) })
+			d := inflightPool.Get().(*inflight)
+			*d = inflight{g: g, src: f.src, dst: f.dst, b: b.Clone()}
+			g.s.AfterArg(delay, deliverCB, d)
 		}
 		if g.rng.Float64() < g.faults.ReorderProb {
 			delay += g.faults.ReorderDelay
 		}
 	}
-	g.s.After(delay, func() { g.deliver(src, dst, b) })
+	g.s.AfterArg(delay, deliverCB, f)
 }
 
 func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 	b.Meta.RxDev = g.cfg.Name
 	if dst.IsBroadcast() {
-		for _, st := range g.order {
+		// The final recipient takes ownership of the original frame, so a
+		// broadcast to n stations costs n-1 clones rather than n.
+		last := -1
+		for i, st := range g.order {
+			if st.Addr() != src {
+				last = i
+			}
+		}
+		if last < 0 {
+			b.Release()
+			return
+		}
+		for i, st := range g.order {
 			if st.Addr() == src {
 				continue
 			}
-			st.Deliver(b.Clone())
+			if i == last {
+				st.Deliver(b)
+			} else {
+				st.Deliver(b.Clone())
+			}
 		}
 		return
 	}
 	if st, ok := g.stations[dst]; ok {
 		st.Deliver(b)
+		return
 	}
 	// Frames to unknown stations vanish, as on a real wire.
+	b.Release()
 }
 
 // Stats reports cumulative counters.
