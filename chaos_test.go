@@ -13,9 +13,27 @@ import (
 
 	"ulp/internal/chaos"
 	"ulp/internal/kern"
+	"ulp/internal/pkt"
 	"ulp/internal/stacks"
 	"ulp/internal/wire"
 )
+
+// trackPoolLeaks arms the packet-pool leak tracker for the duration of a
+// test. assertNoPoolLeaks then requires that every pkt.Buf acquired since
+// arming has been released — a crashed domain must not strand frames in
+// channel queues, the wire fan-out, or the input batch.
+func trackPoolLeaks(t *testing.T) {
+	t.Helper()
+	pkt.SetLeakTracking(true)
+	t.Cleanup(func() { pkt.SetLeakTracking(false) })
+}
+
+func assertNoPoolLeaks(t *testing.T) {
+	t.Helper()
+	if n := pkt.OutstandingCount(); n != 0 {
+		t.Errorf("%d pkt.Bufs outstanding at scenario end:\n%s", n, pkt.FormatLeakReport())
+	}
+}
 
 // assertNoOrphans checks that a crashed or exited application left nothing
 // behind on its node: no allocated ports, no transferred or registry-owned
@@ -48,6 +66,7 @@ func assertNoOrphans(t *testing.T, w *World, node int, dom *kern.Domain) {
 // handed off and carrying data. The registry must reclaim everything and
 // the server must observe a reset, with no cooperation from the client.
 func TestChaosCrashMidTransferResetsPeer(t *testing.T) {
+	trackPoolLeaks(t)
 	w := NewWorld(Config{
 		Org: OrgUserLib, Net: Ethernet,
 		Chaos: &chaos.FaultPlan{
@@ -108,6 +127,7 @@ func TestChaosCrashMidTransferResetsPeer(t *testing.T) {
 	// Let teardown messages drain, then audit the crashed node.
 	w.Run(5 * time.Second)
 	assertNoOrphans(t, w, 1, cli.Dom)
+	assertNoPoolLeaks(t)
 }
 
 // A crash while the handshake is still in the registry's hands: the
@@ -115,6 +135,7 @@ func TestChaosCrashMidTransferResetsPeer(t *testing.T) {
 // control-plane delay holds the ConnectReq until after the crash, which
 // also exercises reclamation of requests issued by already-dead domains.
 func TestChaosCrashDuringHandshake(t *testing.T) {
+	trackPoolLeaks(t)
 	w := NewWorld(Config{
 		Org: OrgUserLib, Net: AN1, // AN1 reserves the channel before the SYN
 		Chaos: &chaos.FaultPlan{
@@ -161,12 +182,14 @@ func TestChaosCrashDuringHandshake(t *testing.T) {
 	if got := w.Node(1).Mod.PinnedRegions(); got != 0 {
 		t.Errorf("%d regions still pinned", got)
 	}
+	assertNoPoolLeaks(t)
 }
 
 // Regression for the orderly path: an application that exits cleanly
 // (InheritReq) must also leave zero ports and bindings once the registry
 // has driven TIME_WAIT to completion.
 func TestChaosOrderlyExitLeavesNoState(t *testing.T) {
+	trackPoolLeaks(t)
 	w := NewWorld(Config{Org: OrgUserLib, Net: Ethernet})
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
@@ -205,6 +228,7 @@ func TestChaosOrderlyExitLeavesNoState(t *testing.T) {
 	// TIME_WAIT is 2*MSL = 60 s of virtual time; run well past it.
 	w.Run(2 * time.Minute)
 	assertNoOrphans(t, w, 1, cli.Dom)
+	assertNoPoolLeaks(t)
 }
 
 // A dead registry turns into a clean error, not a hung application: with

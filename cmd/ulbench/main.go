@@ -24,10 +24,15 @@ func main() {
 	table := flag.Int("table", 0, "render only this table (1-5); 0 = all")
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
 	orgs := flag.Bool("orgs", false, "print the organization map (Figure 1)")
+	stats := flag.Bool("stats", false, "run a 1 MB transfer per organization and dump per-layer counters")
 	flag.Parse()
 
 	if *orgs {
 		printOrgs()
+		return
+	}
+	if *stats {
+		runStats()
 		return
 	}
 	if *ablations {
@@ -240,6 +245,18 @@ func runAblations() {
 	header("Ablation: checksum elision on 64 KB AN1 frames")
 	if c := experiments.AblationChecksum(nil); c.Err == nil {
 		fmt.Printf("  with software checksum: %.2f Mb/s    elided: %.2f Mb/s\n", c.WithMbps, c.WithoutMbps)
+	}
+}
+
+func runStats() {
+	for _, sys := range experiments.Systems {
+		header(fmt.Sprintf("Per-layer counters: %s (Ethernet, 1 MB bulk transfer)", sys.Label))
+		report, err := experiments.StatsReport(sys.Org, experiments.NetEthernet, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stats:", err)
+			continue
+		}
+		fmt.Print(report)
 	}
 }
 

@@ -8,11 +8,15 @@
 //	ultrace                      # userlib on Ethernet, echo scenario
 //	ultrace -org inkernel -net an1
 //	ultrace -loss 0.1            # watch retransmission machinery engage
+//	ultrace -pcap out.pcap       # also write frames as a capture file
+//	                             # readable by tcpdump/wireshark (Ethernet
+//	                             # scenarios decode fully; AN1 uses DLT_USER0)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"ulp"
@@ -23,6 +27,7 @@ import (
 	"ulp/internal/pkt"
 	"ulp/internal/stacks"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 	"ulp/internal/udp"
 	"ulp/internal/wire"
 )
@@ -32,6 +37,7 @@ func main() {
 	netName := flag.String("net", "ethernet", "network: ethernet | an1 | an1-64k")
 	loss := flag.Float64("loss", 0, "wire loss probability")
 	bytes := flag.Int("bytes", 3000, "payload bytes to echo")
+	pcapPath := flag.String("pcap", "", "write every transmitted frame to this pcap file")
 	flag.Parse()
 
 	cfg := ulp.Config{}
@@ -66,6 +72,29 @@ func main() {
 	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
 		fmt.Printf("%12v  %s\n", at, renderFrame(frame, an1))
 	})
+
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Println("pcap:", err)
+			return
+		}
+		defer f.Close()
+		linkType := trace.LinkTypeEthernet
+		if an1 {
+			linkType = trace.LinkTypeUser0
+		}
+		pw, err := trace.NewPcapWriter(f, linkType)
+		if err != nil {
+			fmt.Println("pcap:", err)
+			return
+		}
+		w.EnableTrace().Subscribe(func(e trace.Event) {
+			if e.Kind == trace.FrameTx {
+				pw.WritePacket(e.At, e.Frame)
+			}
+		})
+	}
 
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")

@@ -27,13 +27,17 @@ import (
 	"ulp/internal/kern"
 	"ulp/internal/pkt"
 	"ulp/internal/stacks"
+	"ulp/internal/trace"
 	"ulp/internal/wire"
 )
 
 // runSeededScenario executes one full client-server transfer under an
 // aggressive fault plan and returns the frame trace: one line per frame on
-// the wire with its virtual timestamp, length, and payload hash.
-func runSeededScenario(t *testing.T, seed uint64) []string {
+// the wire with its virtual timestamp, length, and payload hash. With
+// withTrace set the full observability bus is enabled with a subscriber
+// attached, so every emission hook executes during the run — the returned
+// trace must be identical either way.
+func runSeededScenario(t *testing.T, seed uint64, withTrace bool) []string {
 	t.Helper()
 	w := NewWorld(Config{
 		Org: OrgUserLib, Net: Ethernet,
@@ -49,11 +53,14 @@ func runSeededScenario(t *testing.T, seed uint64) []string {
 			Crashes: []chaos.CrashPoint{{Host: 1, App: "client", At: 400 * time.Millisecond}},
 		},
 	})
-	var trace []string
+	if withTrace {
+		w.EnableTrace().Subscribe(func(trace.Event) {})
+	}
+	var frames []string
 	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
 		h := fnv.New64a()
 		h.Write(frame.Bytes())
-		trace = append(trace, fmt.Sprintf("%d %d %016x", at, len(frame.Bytes()), h.Sum64()))
+		frames = append(frames, fmt.Sprintf("%d %d %016x", at, len(frame.Bytes()), h.Sum64()))
 	})
 
 	srv := w.Node(0).App("server")
@@ -91,10 +98,10 @@ func runSeededScenario(t *testing.T, seed uint64) []string {
 	w.RunUntil(time.Minute, func() bool { return srvDone })
 	// Drain the crash teardown so the trace covers resets too.
 	w.Run(5 * time.Second)
-	if len(trace) == 0 {
+	if len(frames) == 0 {
 		t.Fatal("scenario produced no frames — trace hook not firing")
 	}
-	return trace
+	return frames
 }
 
 // TestDeterministicReplay runs the same seeded chaos scenario twice and
@@ -106,16 +113,33 @@ func TestDeterministicReplay(t *testing.T) {
 		seeds = seeds[:1] // CI's quick determinism gate
 	}
 	for _, seed := range seeds {
-		a := runSeededScenario(t, seed)
-		b := runSeededScenario(t, seed)
-		if len(a) != len(b) {
-			t.Fatalf("seed %d: trace lengths differ: %d vs %d frames", seed, len(a), len(b))
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("seed %d: traces diverge at frame %d:\n  run 1: %s\n  run 2: %s",
-					seed, i, a[i], b[i])
-			}
+		a := runSeededScenario(t, seed, false)
+		b := runSeededScenario(t, seed, false)
+		diffTraces(t, seed, a, b)
+	}
+}
+
+// TestTracingPreservesDeterminism pins the observability layer's core
+// invariant: enabling the trace bus (with a live subscriber, so every
+// emission hook actually runs) must not consume virtual time, sequence
+// numbers, or randomness. A traced run's frame trace must be bit-identical
+// to an untraced run of the same seed.
+func TestTracingPreservesDeterminism(t *testing.T) {
+	seed := uint64(7)
+	plain := runSeededScenario(t, seed, false)
+	traced := runSeededScenario(t, seed, true)
+	diffTraces(t, seed, plain, traced)
+}
+
+func diffTraces(t *testing.T, seed uint64, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("seed %d: trace lengths differ: %d vs %d frames", seed, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d: traces diverge at frame %d:\n  run 1: %s\n  run 2: %s",
+				seed, i, a[i], b[i])
 		}
 	}
 }

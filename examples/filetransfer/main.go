@@ -4,9 +4,11 @@
 // scenario as an application.
 //
 //	go run ./examples/filetransfer
+//	go run ./examples/filetransfer -stats   # per-layer counter breakdown per run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"hash/fnv"
 	"time"
@@ -15,6 +17,8 @@ import (
 	"ulp/internal/kern"
 	"ulp/internal/stacks"
 )
+
+var statsFlag = flag.Bool("stats", false, "print the per-layer stats breakdown after each transfer")
 
 const fileSize = 1 << 20
 
@@ -81,6 +85,9 @@ func transfer(org ulp.Org, net ulp.Net) (mbps float64, d time.Duration, ok bool)
 		c.Close(t)
 	})
 	w.RunUntil(10*time.Minute, func() bool { return done })
+	if *statsFlag {
+		fmt.Printf("\n--- %v / %v per-layer stats ---\n%s\n", org, net, w.StatsReport())
+	}
 	if received != fileSize || got.Sum64() != want.Sum64() {
 		return 0, 0, false
 	}
@@ -96,6 +103,7 @@ func min(a, b int) int {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Printf("transferring a %d KB file (FNV-checksummed end to end)\n\n", fileSize>>10)
 	fmt.Printf("%-14s %-12s %12s %14s %10s\n", "organization", "network", "virtual time", "throughput", "integrity")
 	for _, org := range []ulp.Org{ulp.OrgInKernel, ulp.OrgSingleServer, ulp.OrgUserLib} {

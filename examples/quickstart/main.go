@@ -5,9 +5,11 @@
 // working underneath.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -stats   # per-layer counter breakdown
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -17,6 +19,8 @@ import (
 )
 
 func main() {
+	stats := flag.Bool("stats", false, "print the per-layer stats breakdown after the run")
+	flag.Parse()
 	// Two DECstation-class hosts on a 10 Mb/s Ethernet, each running a
 	// registry server and the in-kernel network I/O module.
 	w := ulp.NewWorld(ulp.Config{Org: ulp.OrgUserLib, Net: ulp.Ethernet})
@@ -91,5 +95,10 @@ func main() {
 		m := w.Node(i).Mod
 		fmt.Printf("  host %d: %d sends verified against templates, %d rejected; demux: %d to channels, %d to kernel default\n",
 			i, m.SendOK, m.SendRejected, m.DemuxMatched, m.DemuxDefault)
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Println("per-layer stats:")
+		fmt.Print(w.StatsReport())
 	}
 }

@@ -3,7 +3,20 @@
 // incremental composition across regions (headers, pseudo-headers, payload).
 package checksum
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// bytesSummed counts every byte fed through Sum, process-wide. The paper's
+// Table 3 accounting attributes checksum cost per byte; consumers snapshot
+// this around a scenario to report it.
+var bytesSummed atomic.Int64
+
+// BytesSummed returns the cumulative number of bytes checksummed by Sum
+// since process start. Process-global: subtract a baseline taken at scenario
+// start for per-run figures.
+func BytesSummed() int64 { return bytesSummed.Load() }
 
 // Sum accumulates the ones-complement sum of b into the running partial sum
 // acc. The partial sum is kept un-folded in a uint32; combine regions by
@@ -19,6 +32,7 @@ import "encoding/binary"
 // exactly the same checksum as the byte-pair loop (sumReference, retained
 // below and fuzz-checked against this implementation).
 func Sum(acc uint32, b []byte) uint32 {
+	bytesSummed.Add(int64(len(b)))
 	sum := uint64(acc)
 	for len(b) >= 32 {
 		v0 := binary.BigEndian.Uint64(b)

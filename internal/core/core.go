@@ -195,6 +195,9 @@ func (l *Library) adopt(t *kern.Thread, ho registry.Handoff, opts stacks.Options
 	}
 	tc := tcp.Restore(ho.Snap, tcp.Callbacks{})
 	c.tc = tc
+	if bus := l.reg.Bus(); bus.Enabled() {
+		tc.SetTrace(bus, l.app.String()+" "+tc.Local().String()+">"+tc.Peer().String())
+	}
 	sock := stacks.NewSock(l.s, tc)
 	cost := &l.host.Cost
 	sock.Entry = func(t *kern.Thread) { t.Compute(cost.ProcCall) }
@@ -248,12 +251,26 @@ func (c *Conn) transmit(seg *stacks.Seg) {
 // channel's lightweight semaphore and feeds batches to the engine.
 func (c *Conn) inputThread(t *kern.Thread) {
 	cost := &c.lib.host.Cost
+	// If the domain is killed mid-batch (Kill runs deferred functions via
+	// Goexit), the frame being processed is released by inputFrame's own
+	// defer — but the rest of the drained batch would leak: it has already
+	// left the channel, so no sweep can see it. Hold the batch in
+	// function scope and release the unprocessed tail on the way out.
+	var batch []*pkt.Buf
+	next := 0
+	defer func() {
+		for _, b := range batch[next:] {
+			b.Release()
+		}
+	}()
 	for !c.done {
-		batch := c.ch.Wait(t)
+		batch = c.ch.Wait(t)
+		next = 0
 		if len(batch) == 0 {
 			continue // poked for shutdown or spurious wakeup
 		}
-		for _, b := range batch {
+		for i, b := range batch {
+			next = i + 1
 			c.inputFrame(t, b)
 		}
 		if c.sock.ReadableWaiters() > 0 {

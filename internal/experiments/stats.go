@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"time"
+
+	"ulp/internal/costs"
+	"ulp/internal/stacks"
+)
+
+// StatsReport runs a representative 1 MB bulk transfer on a fresh world and
+// returns the per-layer counter breakdown (wire frames and bytes, device
+// tx/rx, demux decisions, notification batching, copies, checksum bytes,
+// packet-pool churn, engine activity) in the style of the paper's per-layer
+// cost accounting. The report reflects the whole run including connection
+// setup.
+func StatsReport(org OrgSel, net NetSel, model *costs.Model) (string, error) {
+	w := newWorld(org, net, model)
+	if _, err := bulkSend(w, 1<<20, 8192, stacks.Options{}, 30*time.Second); err != nil {
+		return "", err
+	}
+	return w.w.StatsReport(), nil
+}

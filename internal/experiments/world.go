@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"os"
 	"time"
 
 	"ulp"
 	"ulp/internal/costs"
 	"ulp/internal/kern"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 )
 
 // world adapts the public facade for the experiment drivers.
@@ -34,7 +36,15 @@ func newWorld(org OrgSel, net NetSel, model *costs.Model) *world {
 	case NetAN1Jumbo:
 		cfg.Net = ulp.AN1Jumbo
 	}
-	return &world{w: ulp.NewWorld(cfg)}
+	w := &world{w: ulp.NewWorld(cfg)}
+	if os.Getenv("ULP_TRACE") == "1" {
+		// Exercise every emission path during the run (CI diffs traced
+		// against untraced tables for bit-identity). The no-op subscriber
+		// matters: a bus with no subscribers reports Enabled() == false and
+		// the producers skip their hooks entirely.
+		w.w.EnableTrace().Subscribe(func(trace.Event) {})
+	}
+	return w
 }
 
 func (w *world) app(node int, name string) *ulp.App { return w.w.Node(node).App(name) }

@@ -24,6 +24,7 @@ import (
 	"ulp/internal/kern"
 	"ulp/internal/link"
 	"ulp/internal/pkt"
+	"ulp/internal/trace"
 	"ulp/internal/wire"
 )
 
@@ -55,6 +56,10 @@ type Device interface {
 	// SetRxHandler installs the interrupt-level receive handler.
 	SetRxHandler(h RxHandler)
 
+	// SetTrace attaches a trace bus; frame drops at the controller emit
+	// FrameDrop events with a reason in Text.
+	SetTrace(bus *trace.Bus)
+
 	// Stats returns receive/transmit/drop counters.
 	Stats() Stats
 }
@@ -75,6 +80,7 @@ type Lance struct {
 	seg     *wire.Segment
 	addr    link.Addr
 	handler RxHandler
+	bus     *trace.Bus
 	stats   Stats
 }
 
@@ -91,6 +97,7 @@ func (d *Lance) Addr() link.Addr          { return d.addr }
 func (d *Lance) HdrLen() int              { return link.EthHeaderLen }
 func (d *Lance) MTU() int                 { return link.EthMTU }
 func (d *Lance) SetRxHandler(h RxHandler) { d.handler = h }
+func (d *Lance) SetTrace(bus *trace.Bus)  { d.bus = bus }
 func (d *Lance) Stats() Stats             { return d.stats }
 
 // Transmit copies the frame into the on-board staging buffer with programmed
@@ -121,6 +128,10 @@ func (d *Lance) Transmit(t *kern.Thread, b *pkt.Buf) {
 // the installed receive handler.
 func (d *Lance) Deliver(b *pkt.Buf) {
 	if hdr, err := link.PeekEth(b); err != nil || (hdr.Dst != d.addr && !hdr.Dst.IsBroadcast()) {
+		if d.bus.Enabled() {
+			d.bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: d.Name(),
+				A: int64(b.Len()), Text: "addr-filter"})
+		}
 		b.Release() // address filter in the controller
 		return
 	}
@@ -132,6 +143,10 @@ func (d *Lance) Deliver(b *pkt.Buf) {
 			d.handler(b)
 		} else {
 			d.stats.RxDropped++
+			if d.bus.Enabled() {
+				d.bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: d.Name(),
+					A: int64(b.Len()), Text: "no-handler"})
+			}
 			b.Release()
 		}
 	})
@@ -166,6 +181,7 @@ type AN1 struct {
 	addr  link.Addr
 	mtu   int
 	rings map[uint16]*an1Ring
+	bus   *trace.Bus
 	stats Stats
 }
 
@@ -187,6 +203,9 @@ func (d *AN1) Addr() link.Addr  { return d.addr }
 func (d *AN1) HdrLen() int      { return link.AN1HeaderLen }
 func (d *AN1) MTU() int         { return d.mtu }
 func (d *AN1) Stats() Stats     { return d.stats }
+
+// SetTrace attaches a trace bus for controller-level drop events.
+func (d *AN1) SetTrace(bus *trace.Bus) { d.bus = bus }
 
 // SetRxHandler installs the handler for the default kernel ring (BQI 0).
 // The kernel copies packets out of the ring in its handler, so the ring
@@ -245,6 +264,10 @@ func (d *AN1) Transmit(t *kern.Thread, b *pkt.Buf) {
 func (d *AN1) Deliver(b *pkt.Buf) {
 	hdr, err := link.PeekAN1(b)
 	if err != nil || (hdr.Dst != d.addr && !hdr.Dst.IsBroadcast()) {
+		if d.bus.Enabled() {
+			d.bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: d.Name(),
+				A: int64(b.Len()), Text: "addr-filter"})
+		}
 		b.Release()
 		return
 	}
@@ -254,6 +277,10 @@ func (d *AN1) Deliver(b *pkt.Buf) {
 		ring, ok = d.rings[0]
 		if !ok {
 			d.stats.RxDropped++
+			if d.bus.Enabled() {
+				d.bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: d.Name(),
+					A: int64(b.Len()), Text: "no-ring"})
+			}
 			b.Release()
 			return
 		}
@@ -264,6 +291,10 @@ func (d *AN1) Deliver(b *pkt.Buf) {
 	if ring.status.InUse >= ring.status.Capacity {
 		ring.status.Dropped++
 		d.stats.RxDropped++
+		if d.bus.Enabled() {
+			d.bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: d.Name(),
+				A: int64(b.Len()), B: int64(hdr.BQI), Text: "ring-overflow"})
+		}
 		b.Release()
 		return
 	}

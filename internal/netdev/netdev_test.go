@@ -9,6 +9,7 @@ import (
 	"ulp/internal/link"
 	"ulp/internal/pkt"
 	"ulp/internal/sim"
+	"ulp/internal/trace"
 	"ulp/internal/wire"
 )
 
@@ -124,6 +125,63 @@ func TestLanceAddressFilter(t *testing.T) {
 	w.s.Run(0)
 	if delivered != 0 {
 		t.Fatalf("address filter passed %d frames", delivered)
+	}
+}
+
+func TestLancePadZeroedOverRecycledStorage(t *testing.T) {
+	// Poison a small-class storage array with 0xFF and return it to the
+	// pool; the LIFO free list hands that same storage to the next short
+	// frame. The Ethernet minimum-frame pad must still arrive zeroed — a
+	// non-zeroing Extend would leak the previous packet's bytes onto the
+	// wire.
+	poison := pkt.FromBytes(0, make([]byte, 200))
+	for i, raw := 0, poison.Bytes(); i < len(raw); i++ {
+		raw[i] = 0xFF
+	}
+	poison.Release()
+
+	w := newEthWorld()
+	var got *pkt.Buf
+	w.d2.SetRxHandler(func(b *pkt.Buf) { got = b })
+	w.h1.NewDomain("app", false).Spawn("tx", func(th *kern.Thread) {
+		w.d1.Transmit(th, ethFrame(link.MakeAddr(1), link.MakeAddr(2), []byte{0xAA}))
+	})
+	w.s.Run(0)
+	if got == nil {
+		t.Fatal("no delivery")
+	}
+	f := got.Bytes()
+	if len(f) != link.EthHeaderLen+link.EthMinPayload {
+		t.Fatalf("frame len = %d, want %d", len(f), link.EthHeaderLen+link.EthMinPayload)
+	}
+	if f[link.EthHeaderLen] != 0xAA {
+		t.Fatalf("payload byte = %#x, want 0xAA", f[link.EthHeaderLen])
+	}
+	for i := link.EthHeaderLen + 1; i < len(f); i++ {
+		if f[i] != 0 {
+			t.Fatalf("pad byte %d = %#x, want 0 (recycled storage leaked)", i, f[i])
+		}
+	}
+}
+
+func TestDeviceDropTraceEvents(t *testing.T) {
+	w := newEthWorld()
+	bus := trace.NewBus(func() time.Duration { return sim.Dur(w.s.Now()) })
+	var drops []trace.Event
+	bus.Subscribe(func(e trace.Event) {
+		if e.Kind == trace.FrameDrop {
+			drops = append(drops, e)
+		}
+	})
+	w.d2.SetTrace(bus)
+	w.d2.SetRxHandler(func(b *pkt.Buf) { t.Error("filtered frame delivered") })
+	w.h1.NewDomain("app", false).Spawn("tx", func(th *kern.Thread) {
+		f := ethFrame(link.MakeAddr(1), link.MakeAddr(9), make([]byte, 64))
+		w.seg.Transmit(link.MakeAddr(1), link.Broadcast, f)
+	})
+	w.s.Run(0)
+	if len(drops) != 1 || drops[0].Text != "addr-filter" {
+		t.Fatalf("drop events = %+v, want one addr-filter drop", drops)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"ulp/internal/link"
 	"ulp/internal/netdev"
 	"ulp/internal/pkt"
+	"ulp/internal/trace"
 )
 
 // Errors returned by the send path.
@@ -127,6 +128,7 @@ type Channel struct {
 	sem     *kern.Sem
 	rxq     []*pkt.Buf
 	cap     int
+	id      uint64 // owning capability's id (trace correlation)
 	bqi     uint16 // nonzero on AN1
 	noBatch bool
 	mod     *Module
@@ -196,6 +198,10 @@ func (ch *Channel) Inject(b *pkt.Buf) { ch.deliver(b) }
 // BQI returns the channel's hardware demultiplexing index (0 on Ethernet).
 func (ch *Channel) BQI() uint16 { return ch.bqi }
 
+// ID returns the id of the capability the channel was created with (trace
+// correlation: ChanDeliver/DemuxHit/CapRevoked events carry it in A).
+func (ch *Channel) ID() uint64 { return ch.id }
+
 // deliver enqueues a packet and notifies the library. The semaphore is
 // posted only when the queue transitions from empty, so a burst arriving
 // before the library wakes is delivered under a single notification.
@@ -204,13 +210,18 @@ func (ch *Channel) BQI() uint16 { return ch.bqi }
 // the channel and the module, and the first drop of an episode posts an
 // extra notification so a slow consumer is prodded to drain the ring.
 func (ch *Channel) deliver(b *pkt.Buf) {
+	bus := ch.mod.Bus
 	if len(ch.rxq) >= ch.cap {
 		ch.Dropped++
 		ch.mod.RxDropped++
+		if bus.Enabled() {
+			bus.Emit(trace.Event{Kind: trace.ChanDrop, Node: ch.mod.dev.Name(), A: int64(ch.id)})
+		}
 		if !ch.overflowed {
 			ch.overflowed = true
 			ch.Overflows++
 			ch.Notifications++
+			ch.mod.NotificationsTotal++
 			ch.sem.V()
 		}
 		b.Release()
@@ -219,11 +230,21 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 	ch.overflowed = false
 	ch.rxq = append(ch.rxq, b)
 	ch.Delivered++
+	ch.mod.DeliveredTotal++
 	if len(ch.rxq) > ch.HighWater {
 		ch.HighWater = len(ch.rxq)
 	}
+	if bus.Enabled() {
+		bus.Emit(trace.Event{Kind: trace.ChanDeliver, Node: ch.mod.dev.Name(),
+			A: int64(ch.id), B: int64(len(ch.rxq))})
+	}
 	if len(ch.rxq) == 1 || ch.noBatch {
 		ch.Notifications++
+		ch.mod.NotificationsTotal++
+		if bus.Enabled() {
+			bus.Emit(trace.Event{Kind: trace.ChanNotify, Node: ch.mod.dev.Name(),
+				A: int64(ch.id), B: int64(len(ch.rxq))})
+		}
 		ch.sem.V()
 	}
 }
@@ -258,6 +279,16 @@ type Module struct {
 	// Stats
 	SendOK, SendRejected, DemuxMatched, DemuxDefault int
 	RxDropped                                        int
+	// DeliveredTotal/NotificationsTotal aggregate the per-channel
+	// counters across all channels (including destroyed ones), so the
+	// notification-batching ratio survives teardown.
+	DeliveredTotal, NotificationsTotal int
+	// CopiedBytes counts bytes moved by the kernel→shared-region receive
+	// copy on software-demux devices (Table-style "copies" breakdown).
+	CopiedBytes int64
+
+	// Bus, when set, receives demux/channel/capability events. Nil-safe.
+	Bus *trace.Bus
 }
 
 // New creates the module for a device and installs its receive path. For
@@ -295,9 +326,14 @@ func (m *Module) rxSoftware(b *pkt.Buf) {
 		for _, bd := range m.bindings {
 			if bd.match(frame) {
 				m.DemuxMatched++
+				if m.Bus.Enabled() {
+					m.Bus.Emit(trace.Event{Kind: trace.DemuxHit, Node: m.dev.Name(),
+						A: int64(bd.ch.id), B: int64(b.Len())})
+				}
 				// The packet was staged into kernel memory by the PIO
 				// copy; moving it into the channel's shared region is a
 				// second copy on this interface.
+				m.CopiedBytes += int64(b.Len())
 				m.host.CPU.UseAsync(c.Copy(b.Len()), nil)
 				bd.ch.deliver(b)
 				return
@@ -305,6 +341,9 @@ func (m *Module) rxSoftware(b *pkt.Buf) {
 		}
 	}
 	m.DemuxDefault++
+	if m.Bus.Enabled() {
+		m.Bus.Emit(trace.Event{Kind: trace.DemuxMiss, Node: m.dev.Name(), B: int64(b.Len())})
+	}
 	if m.defaultRx != nil {
 		m.defaultRx(b)
 	} else {
@@ -381,6 +420,7 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 	}
 	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch}
 	m.nextCapID++
+	ch.id = cap.id
 	m.caps[cap.id] = cap
 	m.regions = append(m.regions, ch.Region)
 
@@ -392,7 +432,14 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 			ch.bqi = m.nextBQI
 			m.nextBQI++
 		}
-		an1.InstallRing(ch.bqi, ringSize, func(b *pkt.Buf) { ch.deliver(b) })
+		an1.InstallRing(ch.bqi, ringSize, func(b *pkt.Buf) {
+			m.DemuxMatched++
+			if m.Bus.Enabled() {
+				m.Bus.Emit(trace.Event{Kind: trace.DemuxHit, Node: m.dev.Name(),
+					A: int64(ch.id), B: int64(b.Len())})
+			}
+			ch.deliver(b)
+		})
 	} else {
 		m.bindings = append(m.bindings, &binding{match: match, ch: ch})
 	}
@@ -421,7 +468,17 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 			break
 		}
 	}
+	// Packets still queued in the ring die with the channel: nobody will
+	// ever Wait on it again, so they must be returned to the pool here or
+	// they leak (found by the pool leak report under the chaos scenarios).
+	for _, b := range cap.ch.rxq {
+		b.Release()
+	}
+	cap.ch.rxq = nil
 	cap.ch.Region.Unpin()
+	if m.Bus.Enabled() {
+		m.Bus.Emit(trace.Event{Kind: trace.CapRevoked, Node: m.dev.Name(), A: int64(cap.id)})
+	}
 	return nil
 }
 
@@ -509,11 +566,23 @@ func (m *Module) Send(t *kern.Thread, cap *Capability, frame *pkt.Buf) error {
 	t.FastTrap()
 	if cap == nil || m.caps[cap.id] != cap {
 		m.SendRejected++
+		if m.Bus.Enabled() {
+			var id int64
+			if cap != nil {
+				id = int64(cap.id)
+			}
+			m.Bus.Emit(trace.Event{Kind: trace.VerifyReject, Node: m.dev.Name(),
+				A: id, Text: "bad-capability"})
+		}
 		return ErrBadCapability
 	}
 	t.Compute(c.TemplateCheck)
 	if !cap.template.Verify(frame.Bytes(), m.dev.HdrLen()) {
 		m.SendRejected++
+		if m.Bus.Enabled() {
+			m.Bus.Emit(trace.Event{Kind: trace.VerifyReject, Node: m.dev.Name(),
+				A: int64(cap.id), Text: "template-mismatch"})
+		}
 		return ErrTemplateMismatch
 	}
 	m.SendOK++

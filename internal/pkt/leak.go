@@ -1,0 +1,158 @@
+package pkt
+
+// Opt-in leak tracking: while enabled, every buffer handed out by the
+// allocator is recorded with its acquisition call stack, and Outstanding
+// reports the buffers that were never Released — aggregated by acquisition
+// site, so a scenario-end report reads like a profiler leak summary.
+//
+// Tracking is process-global (like the pool) and off by default; when off
+// it costs one atomic load per get/put. Call-stack capture is the
+// expensive part, so tests enable it only around the scenario under
+// audit. Buffers acquired before tracking was enabled are simply unknown
+// to the tracker: releasing one is tolerated, and it can never appear in
+// the report.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const leakStackDepth = 12
+
+type leakState struct {
+	mu   sync.Mutex
+	live map[*Buf][leakStackDepth]uintptr
+}
+
+var (
+	leakOn    atomic.Bool
+	leakTrack leakState
+)
+
+// SetLeakTracking turns acquisition-site tracking on or off. Enabling
+// resets any previous records, so a scenario starts from a clean slate
+// even if earlier tests in the same process leaked.
+func SetLeakTracking(on bool) {
+	leakTrack.mu.Lock()
+	if on {
+		leakTrack.live = make(map[*Buf][leakStackDepth]uintptr)
+	} else {
+		leakTrack.live = nil
+	}
+	leakTrack.mu.Unlock()
+	leakOn.Store(on)
+}
+
+func leakTrackGet(b *Buf) {
+	if !leakOn.Load() {
+		return
+	}
+	var pcs [leakStackDepth]uintptr
+	// Skip runtime.Callers, leakTrackGet, and getBuf: the report should
+	// lead with the pkt API call (New/FromBytes/Clone/Extend) and its
+	// caller.
+	runtime.Callers(3, pcs[:])
+	leakTrack.mu.Lock()
+	if leakTrack.live != nil {
+		leakTrack.live[b] = pcs
+	}
+	leakTrack.mu.Unlock()
+}
+
+func leakTrackPut(b *Buf) {
+	if !leakOn.Load() {
+		return
+	}
+	leakTrack.mu.Lock()
+	if leakTrack.live != nil {
+		delete(leakTrack.live, b)
+	}
+	leakTrack.mu.Unlock()
+}
+
+// LeakRecord aggregates outstanding buffers acquired at the same site.
+type LeakRecord struct {
+	Site  string // formatted acquisition stack (innermost frames first)
+	Count int    // buffers still outstanding from this site
+}
+
+// OutstandingCount returns the number of tracked buffers not yet
+// Released. Zero when tracking is disabled.
+func OutstandingCount() int {
+	leakTrack.mu.Lock()
+	defer leakTrack.mu.Unlock()
+	return len(leakTrack.live)
+}
+
+// Outstanding returns the leak report: one record per distinct
+// acquisition site, sorted by descending count then site. Symbolization
+// happens here, not on the hot path.
+func Outstanding() []LeakRecord {
+	leakTrack.mu.Lock()
+	stacks := make([][leakStackDepth]uintptr, 0, len(leakTrack.live))
+	for _, pcs := range leakTrack.live {
+		stacks = append(stacks, pcs)
+	}
+	leakTrack.mu.Unlock()
+
+	byStack := make(map[[leakStackDepth]uintptr]int)
+	for _, pcs := range stacks {
+		byStack[pcs]++
+	}
+	recs := make([]LeakRecord, 0, len(byStack))
+	for pcs, n := range byStack {
+		recs = append(recs, LeakRecord{Site: formatStack(pcs), Count: n})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Count != recs[j].Count {
+			return recs[i].Count > recs[j].Count
+		}
+		return recs[i].Site < recs[j].Site
+	})
+	return recs
+}
+
+// FormatLeakReport renders Outstanding as a human-readable report, or ""
+// when nothing is outstanding.
+func FormatLeakReport() string {
+	recs := Outstanding()
+	if len(recs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	total := 0
+	for _, r := range recs {
+		total += r.Count
+	}
+	fmt.Fprintf(&b, "%d outstanding pkt.Buf(s) at %d site(s):\n", total, len(recs))
+	for _, r := range recs {
+		fmt.Fprintf(&b, "  %d × acquired at:\n%s", r.Count, r.Site)
+	}
+	return b.String()
+}
+
+func formatStack(pcs [leakStackDepth]uintptr) string {
+	n := 0
+	for n < len(pcs) && pcs[n] != 0 {
+		n++
+	}
+	if n == 0 {
+		return "      (no stack)\n"
+	}
+	frames := runtime.CallersFrames(pcs[:n])
+	var b strings.Builder
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			fmt.Fprintf(&b, "      %s\n        %s:%d\n", f.Function, f.File, f.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package pkt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolCountersAdvance(t *testing.T) {
+	base := Counters()
+	b := New(14, 100)
+	c := b.Clone()
+	b.Release()
+	c.Release()
+	got := Counters()
+	if got.Gets-base.Gets != 2 {
+		t.Fatalf("gets advanced by %d, want 2", got.Gets-base.Gets)
+	}
+	if got.Puts-base.Puts != 2 {
+		t.Fatalf("puts advanced by %d, want 2", got.Puts-base.Puts)
+	}
+	if d := (got.Recycled - base.Recycled) + (got.HeapAllocs - base.HeapAllocs); d != 2 {
+		t.Fatalf("recycled+heapAllocs advanced by %d, want 2", d)
+	}
+}
+
+func TestLeakTrackingReportsSiteAndClearsOnRelease(t *testing.T) {
+	SetLeakTracking(true)
+	defer SetLeakTracking(false)
+
+	leaked := New(0, 64)
+	fine := New(0, 64)
+	fine.Release()
+
+	if n := OutstandingCount(); n != 1 {
+		t.Fatalf("outstanding = %d, want 1", n)
+	}
+	recs := Outstanding()
+	if len(recs) != 1 || recs[0].Count != 1 {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+	if !strings.Contains(recs[0].Site, "leak_test.go") {
+		t.Fatalf("acquisition site does not point at this test:\n%s", recs[0].Site)
+	}
+	if rep := FormatLeakReport(); !strings.Contains(rep, "1 outstanding") {
+		t.Fatalf("unexpected report:\n%s", rep)
+	}
+
+	leaked.Release()
+	if n := OutstandingCount(); n != 0 {
+		t.Fatalf("outstanding after release = %d, want 0", n)
+	}
+	if rep := FormatLeakReport(); rep != "" {
+		t.Fatalf("report should be empty, got:\n%s", rep)
+	}
+}
+
+func TestLeakTrackingEnableResets(t *testing.T) {
+	SetLeakTracking(true)
+	b := New(0, 32) // deliberately leaked
+	_ = b
+	SetLeakTracking(true) // re-enable must reset
+	defer SetLeakTracking(false)
+	if n := OutstandingCount(); n != 0 {
+		t.Fatalf("re-enable did not reset: outstanding = %d", n)
+	}
+	// Releasing a buffer acquired before the reset must be tolerated.
+	b.Release()
+}
+
+func TestLeakTrackingOffIsCheapAndSilent(t *testing.T) {
+	SetLeakTracking(false)
+	b := New(0, 32)
+	b.Release()
+	if n := OutstandingCount(); n != 0 {
+		t.Fatalf("outstanding with tracking off = %d, want 0", n)
+	}
+	if recs := Outstanding(); len(recs) != 0 {
+		t.Fatalf("records with tracking off: %+v", recs)
+	}
+}

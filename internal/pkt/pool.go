@@ -1,6 +1,20 @@
 package pkt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"ulp/internal/trace"
+)
+
+// poolBus, when set, receives PoolGet/PoolPut events. Process-global like
+// the pool itself; the last world to enable tracing wins. Atomic so that a
+// world enabling tracing on one goroutine is race-free with engine procs.
+var poolBus atomic.Pointer[trace.Bus]
+
+// SetTraceBus attaches (or, with nil, detaches) the trace bus that
+// receives pool get/put events.
+func SetTraceBus(b *trace.Bus) { poolBus.Store(b) }
 
 // The allocator keeps per-size-class free lists of buffer storage and of Buf
 // structs, so the steady-state packet path performs no heap allocation: a
@@ -30,9 +44,32 @@ type freeLists struct {
 	mu   sync.Mutex
 	data [len(classSizes)][][]byte
 	bufs []*Buf
+
+	// Lifetime counters for the stats layer, guarded by mu. Process-wide
+	// (the pool is shared by every world in a process); consumers that
+	// want per-scenario numbers snapshot a baseline and subtract.
+	gets       int64
+	puts       int64
+	recycled   int64 // gets served from a free list
+	heapAllocs int64 // gets that had to allocate storage
 }
 
 var pool freeLists
+
+// PoolCounters is a snapshot of the allocator's lifetime activity.
+type PoolCounters struct {
+	Gets       int64 // buffers handed out
+	Puts       int64 // buffers released
+	Recycled   int64 // gets served by recycling free-list storage
+	HeapAllocs int64 // gets that allocated fresh storage
+}
+
+// Counters returns the allocator's lifetime counters.
+func Counters() PoolCounters {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return PoolCounters{Gets: pool.gets, Puts: pool.puts, Recycled: pool.recycled, HeapAllocs: pool.heapAllocs}
+}
 
 // classFor returns the smallest class index fitting n bytes, or -1 when n
 // exceeds every class (the buffer is then heap-allocated and not recycled).
@@ -53,6 +90,7 @@ func getBuf(size int) *Buf {
 	var b *Buf
 	var data []byte
 	pool.mu.Lock()
+	pool.gets++
 	if n := len(pool.bufs); n > 0 {
 		b = pool.bufs[n-1]
 		pool.bufs[n-1] = nil
@@ -64,6 +102,11 @@ func getBuf(size int) *Buf {
 			lst[len(lst)-1] = nil
 			pool.data[cls] = lst[:len(lst)-1]
 		}
+	}
+	if data != nil {
+		pool.recycled++
+	} else {
+		pool.heapAllocs++
 	}
 	pool.mu.Unlock()
 	if data == nil {
@@ -77,6 +120,10 @@ func getBuf(size int) *Buf {
 		b = &Buf{}
 	}
 	*b = Buf{data: data[:size], cls: cls}
+	leakTrackGet(b)
+	if bus := poolBus.Load(); bus.Enabled() {
+		bus.Emit(trace.Event{Kind: trace.PoolGet, A: int64(size)})
+	}
 	return b
 }
 
@@ -101,13 +148,19 @@ func (b *Buf) Release() {
 	}
 	b.released = true
 	data, cls := b.data, b.cls
+	size := len(data)
 	b.data = nil
+	leakTrackPut(b)
 	pool.mu.Lock()
+	pool.puts++
 	if cls >= 0 {
 		pool.data[cls] = append(pool.data[cls], data[:cap(data)])
 	}
 	pool.bufs = append(pool.bufs, b)
 	pool.mu.Unlock()
+	if bus := poolBus.Load(); bus.Enabled() {
+		bus.Emit(trace.Event{Kind: trace.PoolPut, A: int64(size)})
+	}
 }
 
 // zero clears p (the compiler lowers this loop to memclr).

@@ -25,6 +25,10 @@ func (r *Server) inputLoop(t *kern.Thread) {
 }
 
 func (r *Server) input(t *kern.Thread, b *pkt.Buf) {
+	// The frame dies here on every path: ARP replies and forwarded segments
+	// are built in fresh buffers, reassembly and tcp.Conn.Input copy the
+	// bytes they keep.
+	defer b.Release()
 	var et link.EtherType
 	advBQI := uint16(0)
 	if r.nif.IsAN1() {
@@ -87,6 +91,7 @@ func (r *Server) inputUDP(t *kern.Thread, h ipv4.Header, data []byte) {
 
 func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uint16) {
 	seg := pkt.FromBytes(0, data)
+	defer seg.Release()
 	th, err := tcp.Decode(seg, h.Src, h.Dst)
 	if err != nil {
 		return

@@ -34,6 +34,7 @@ import (
 	"ulp/internal/sim"
 	"ulp/internal/stacks"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 )
 
 // ConnectReq asks the registry to actively open a connection. Owner names
@@ -169,7 +170,18 @@ type Server struct {
 	rxq  *sim.Queue[*pkt.Buf]
 	cur  *kern.Thread
 	lock *sim.Semaphore
+
+	// bus receives RegistryRPC events and is handed to every TCP engine
+	// the server creates. Nil-safe.
+	bus *trace.Bus
 }
+
+// SetTrace attaches the trace bus. Connections created afterwards inherit
+// it; the libraries query it via Bus when adopting handed-off engines.
+func (r *Server) SetTrace(b *trace.Bus) { r.bus = b }
+
+// Bus returns the attached trace bus (nil when tracing is off).
+func (r *Server) Bus() *trace.Bus { return r.bus }
 
 // crashReq is the internal notification a domain-death hook posts to the
 // service loop so reclamation runs on a registry thread with normal cost
@@ -237,8 +249,15 @@ func (r *Server) serviceLoop(t *kern.Thread) {
 		// Internal crash notifications bypass fault injection: reclamation
 		// must run even (especially) when the control plane is misbehaving.
 		if cr, ok := m.Body.(crashReq); ok {
+			if r.bus.Enabled() {
+				r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name,
+					Conn: cr.dom.String(), Text: "crash-sweep"})
+			}
 			r.handleCrash(t, cr.dom)
 			continue
+		}
+		if r.bus.Enabled() {
+			r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name, Text: m.Op})
 		}
 		if r.faults.DropRequest() {
 			continue // the library's RPC never gets a reply
@@ -409,6 +428,9 @@ func (r *Server) setupChannel(t *kern.Thread, hc *hsConn, local, remote tcp.Endp
 // attach wires the registry-side callbacks for a pcb it owns.
 func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 	r.conns[tc] = hc
+	if r.bus.Enabled() {
+		tc.SetTrace(r.bus, r.host.Name+" "+tc.Local().String()+">"+tc.Peer().String())
+	}
 	tc.SetCallbacks(tcp.Callbacks{
 		Send: func(seg *pkt.Buf, h tcp.Header, pl int) {
 			r.transmit(seg, tc, hc, h)

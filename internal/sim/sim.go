@@ -85,6 +85,17 @@ type Sim struct {
 	current *Proc
 	nprocs  int // live procs (started, not yet finished)
 	stopped bool
+
+	// Counters (diagnostics only; never consulted by the engine).
+	fired     int64
+	cancelled int64
+	maxHeap   int
+}
+
+// Counters reports cumulative engine activity: events fired, timers
+// cancelled before firing, and the high-water mark of the event heap.
+func (s *Sim) Counters() (fired, cancelled int64, maxHeap int) {
+	return s.fired, s.cancelled, s.maxHeap
 }
 
 // New creates an empty simulation at time zero.
@@ -133,6 +144,9 @@ func (s *Sim) release(rec int32) {
 
 func (s *Sim) heapPush(ent heapEnt) {
 	s.heap = append(s.heap, ent)
+	if len(s.heap) > s.maxHeap {
+		s.maxHeap = len(s.heap)
+	}
 	s.siftUp(len(s.heap) - 1)
 }
 
@@ -224,6 +238,7 @@ func (t Timer) Cancel() bool {
 	}
 	t.s.heapRemove(int(e.heapIdx))
 	t.s.release(t.rec)
+	t.s.cancelled++
 	return true
 }
 
@@ -297,6 +312,7 @@ func (s *Sim) Stop() { s.stopped = true }
 
 // fire pops the root event and executes it.
 func (s *Sim) fire() {
+	s.fired++
 	rec := s.heap[0].rec
 	s.heapRemove(0)
 	e := &s.records[rec]

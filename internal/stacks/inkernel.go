@@ -240,8 +240,11 @@ func (ik *InKernel) softint(t *kern.Thread) {
 	}
 }
 
-// input processes one inbound frame in thread context.
+// input processes one inbound frame in thread context. The frame dies here
+// on every path: reassembly, the UDP datagram queue and tcp.Conn.Input all
+// copy the bytes they keep.
 func (ik *InKernel) input(t *kern.Thread, b *pkt.Buf) {
+	defer b.Release()
 	et, err := ik.nif.StripLink(b)
 	if err != nil {
 		return
@@ -269,6 +272,7 @@ func (ik *InKernel) input(t *kern.Thread, b *pkt.Buf) {
 // inputTCP demultiplexes a segment through the PCB table.
 func (ik *InKernel) inputTCP(t *kern.Thread, h ipv4.Header, data []byte) {
 	seg := pkt.FromBytes(0, data)
+	defer seg.Release()
 	th, err := tcp.Decode(seg, h.Src, h.Dst)
 	if err != nil {
 		return // bad checksum: dropped silently, retransmission recovers

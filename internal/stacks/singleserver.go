@@ -213,6 +213,8 @@ func (ss *SingleServer) inputThread(t *kern.Thread) {
 }
 
 func (ss *SingleServer) input(t *kern.Thread, b *pkt.Buf) {
+	// See InKernel.input: the frame dies here on every path.
+	defer b.Release()
 	et, err := ss.nif.StripLink(b)
 	if err != nil {
 		return
@@ -239,6 +241,7 @@ func (ss *SingleServer) input(t *kern.Thread, b *pkt.Buf) {
 
 func (ss *SingleServer) inputTCP(t *kern.Thread, h ipv4.Header, data []byte) {
 	seg := pkt.FromBytes(0, data)
+	defer seg.Release()
 	th, err := tcp.Decode(seg, h.Src, h.Dst)
 	if err != nil {
 		return

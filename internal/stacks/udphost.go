@@ -46,6 +46,7 @@ func (u *UDPHost) Bind(t *kern.Thread, port uint16) (*UDPSock, error) {
 func (u *UDPHost) Input(t *kern.Thread, h ipv4.Header, data []byte) {
 	c := &t.Dom.Host.Cost
 	seg := pkt.FromBytes(0, data)
+	defer seg.Release()
 	uh, err := udp.Decode(seg, h.Src, h.Dst)
 	if err != nil {
 		return

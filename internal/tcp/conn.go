@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ulp/internal/pkt"
+	"ulp/internal/trace"
 )
 
 // State is a TCP connection state (RFC 793).
@@ -58,6 +59,10 @@ const (
 	mslTicks      = 60  // MSL = 30 s
 	persistMin    = 10  // 5 s
 	persistMax    = 120 // 60 s
+	// maxPersistShift caps persist backoff growth: persistMin<<4 already
+	// exceeds persistMax, so letting the shift run further only risks
+	// overflow-style bugs without changing the probe cadence.
+	maxPersistShift = 6
 	keepIdleDflt  = 120 // probe after 60 s idle (shortened from BSD's 2h for simulation)
 	keepMaxProbes = 8
 )
@@ -203,6 +208,19 @@ type Conn struct {
 
 	closedErr  error
 	closedOnce bool
+
+	// Observability. bus is nil-safe; busLabel names the connection in
+	// events and is built once at SetTrace time, keeping emit sites
+	// allocation-free.
+	bus      *trace.Bus
+	busLabel string
+}
+
+// SetTrace attaches a trace bus; label names this connection in events
+// (e.g. "h1:1025>h0:80"). Pass nil to detach.
+func (c *Conn) SetTrace(bus *trace.Bus, label string) {
+	c.bus = bus
+	c.busLabel = label
 }
 
 // NewConn creates a connection in the Closed state.
@@ -251,6 +269,13 @@ func (c *Conn) setState(s State) {
 	}
 	prev := c.state
 	c.state = s
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{
+			Kind: trace.TCPState, Conn: c.busLabel,
+			A: int64(prev), B: int64(s),
+			Text: prev.String() + "->" + s.String(),
+		})
+	}
 	switch s {
 	case Established:
 		if c.cfg.KeepAliveTicks > 0 {

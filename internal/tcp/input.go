@@ -1,5 +1,7 @@
 package tcp
 
+import "ulp/internal/trace"
+
 // Input processes an arriving segment (header already decoded and checksum
 // verified by the shell via Decode). data is the segment payload.
 func (c *Conn) Input(h Header, data []byte) {
@@ -420,6 +422,10 @@ func (c *Conn) fastRetransmit() {
 	c.sndNxt = c.sndUna
 	c.tRtt = 0 // Karn
 	c.cwnd = c.sndMSS
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{Kind: trace.TCPRexmit, Conn: c.busLabel,
+			A: int64(c.rxtShift), B: int64(c.rxtCur), Text: "fast"})
+	}
 	c.outputForced()
 	c.sndNxt = seqMax(savedNxt, c.sndNxt)
 	if c.cfg.Reno {

@@ -1,5 +1,7 @@
 package tcp
 
+import "ulp/internal/trace"
+
 // Timer machinery in the 4.3BSD style: all protocol timers are tick
 // counters decremented by two periodic timeouts the shell drives — SlowTick
 // every 500 ms (retransmit, persist, keepalive, 2*MSL) and FastTick every
@@ -69,6 +71,9 @@ func (c *Conn) updateRTT(rtt int) {
 		c.rxtCur = maxRexmtTicks
 	}
 	c.rxtShift = 0
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{Kind: trace.TCPRTO, Conn: c.busLabel, A: int64(rtt), B: int64(c.rxtCur)})
+	}
 }
 
 // persistBackoff returns the current persist interval in ticks.
@@ -165,6 +170,10 @@ func (c *Conn) rexmtTimeout() {
 	// Karn: a retransmitted sequence must not be timed.
 	c.tRtt = 0
 
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{Kind: trace.TCPRexmit, Conn: c.busLabel,
+			A: int64(c.rxtShift), B: int64(c.rxtCur), Text: "timeout"})
+	}
 	c.sndNxt = c.sndUna
 	c.setTimer(&c.tRexmt, c.rxtCur)
 	c.outputForced()
@@ -175,7 +184,7 @@ func (c *Conn) rexmtTimeout() {
 // acknowledged, or the window would be open).
 func (c *Conn) persistTimeout() {
 	c.stats.WindowProbes++
-	if c.persistShift < 6 {
+	if c.persistShift < maxPersistShift {
 		c.persistShift++
 	}
 	c.setTimer(&c.tPersist, c.persistBackoff())
@@ -183,6 +192,16 @@ func (c *Conn) persistTimeout() {
 	c.sndNxt = c.sndUna
 	c.outputForced()
 	c.sndNxt = seqMax(saved, c.sndNxt)
+	// Karn: the probe re-sends the byte at snd_una, so any running RTT
+	// measurement now covers a retransmitted sequence — if the peer
+	// accepts the re-sent byte (its window reopened while the probe was
+	// in flight), the covering ACK is unattributable and must not feed
+	// the estimator with a sample spanning the persist episode.
+	c.tRtt = 0
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{Kind: trace.TCPPersist, Conn: c.busLabel,
+			A: int64(c.persistShift), B: int64(c.tPersist)})
+	}
 }
 
 // keepTimeout sends a keepalive probe; too many unanswered probes drop the

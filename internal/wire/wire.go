@@ -18,6 +18,7 @@ import (
 	"ulp/internal/link"
 	"ulp/internal/pkt"
 	"ulp/internal/sim"
+	"ulp/internal/trace"
 )
 
 // Config describes a segment's physical characteristics.
@@ -116,6 +117,10 @@ type Segment struct {
 	// queue time. Observers must treat the buffer as read-only.
 	TraceFrame func(b *pkt.Buf, at sim.Time)
 
+	// Bus, when set, receives FrameTx/FrameRx/FrameDrop/FrameCorrupt/
+	// FrameDup events. Nil-safe; see the trace package invariants.
+	Bus *trace.Bus
+
 	// Stats
 	framesSent, framesDropped, framesCorrupted, framesDuplicated int
 	bytesSent                                                    int64
@@ -185,6 +190,10 @@ func (g *Segment) Transmit(src, dst link.Addr, b *pkt.Buf) {
 	if g.TraceFrame != nil {
 		g.TraceFrame(b, g.s.Now())
 	}
+	if g.Bus.Enabled() {
+		g.Bus.Emit(trace.Event{Kind: trace.FrameTx, Node: g.cfg.Name,
+			A: int64(b.Len()), Frame: b.Bytes()})
+	}
 	tx := g.TxTime(b.Len())
 	f := inflightPool.Get().(*inflight)
 	*f = inflight{g: g, src: src, dst: dst, b: b}
@@ -227,6 +236,10 @@ func (g *Segment) propagate(f *inflight) {
 	if g.faults.active() {
 		if g.rng.Float64() < g.faults.LossProb {
 			g.framesDropped++
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: g.cfg.Name,
+					A: int64(b.Len()), Text: "loss", Frame: b.Bytes()})
+			}
 			f.put()
 			b.Release()
 			return
@@ -236,9 +249,17 @@ func (g *Segment) propagate(f *inflight) {
 			bit := g.rng.Intn(b.Len() * 8)
 			b.Bytes()[bit/8] ^= 1 << (bit % 8)
 			b.Meta.Corrupt = true
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameCorrupt, Node: g.cfg.Name,
+					A: int64(bit / 8), Frame: b.Bytes()})
+			}
 		}
 		if g.rng.Float64() < g.faults.DupProb {
 			g.framesDuplicated++
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameDup, Node: g.cfg.Name,
+					A: int64(b.Len()), Frame: b.Bytes()})
+			}
 			d := inflightPool.Get().(*inflight)
 			*d = inflight{g: g, src: f.src, dst: f.dst, b: b.Clone()}
 			g.s.AfterArg(delay, deliverCB, d)
@@ -252,6 +273,10 @@ func (g *Segment) propagate(f *inflight) {
 
 func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 	b.Meta.RxDev = g.cfg.Name
+	if g.Bus.Enabled() {
+		g.Bus.Emit(trace.Event{Kind: trace.FrameRx, Node: g.cfg.Name,
+			Conn: dst.String(), A: int64(b.Len()), Frame: b.Bytes()})
+	}
 	if dst.IsBroadcast() {
 		// The final recipient takes ownership of the original frame, so a
 		// broadcast to n stations costs n-1 clones rather than n.
@@ -282,6 +307,10 @@ func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 		return
 	}
 	// Frames to unknown stations vanish, as on a real wire.
+	if g.Bus.Enabled() {
+		g.Bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: g.cfg.Name,
+			A: int64(b.Len()), Text: "unknown-dst"})
+	}
 	b.Release()
 }
 

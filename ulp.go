@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ulp/internal/chaos"
+	"ulp/internal/checksum"
 	"ulp/internal/core"
 	"ulp/internal/costs"
 	"ulp/internal/ipv4"
@@ -55,7 +56,9 @@ import (
 	"ulp/internal/registry"
 	"ulp/internal/sim"
 	"ulp/internal/stacks"
+	"ulp/internal/stats"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 	"ulp/internal/wire"
 )
 
@@ -135,6 +138,14 @@ type World struct {
 	Seg   *wire.Segment
 	nodes []*Node
 	cfg   Config
+
+	bus *trace.Bus
+
+	// Process-global counter baselines captured at construction, so a
+	// world's stats report covers only its own activity even when several
+	// worlds share the process (tests, ulbench sweeps).
+	pktBase      pkt.PoolCounters
+	checksumBase int64
 }
 
 // Node is one workstation.
@@ -215,8 +226,96 @@ func NewWorld(cfg Config) *World {
 		}
 		w.nodes = append(w.nodes, n)
 	}
+	w.pktBase = pkt.Counters()
+	w.checksumBase = checksum.BytesSummed()
 	return w
 }
+
+// EnableTrace attaches a trace bus to every layer of the world — wire,
+// devices, network I/O modules, registries, TCP connections (via the
+// registry attach path) and the packet allocator — and returns it.
+// Timestamps are virtual time. Idempotent; call before running scenarios so
+// connection labels are assigned at setup. Tracing never consumes virtual
+// time, sequence numbers or randomness: a traced run is bit-identical to an
+// untraced one.
+func (w *World) EnableTrace() *trace.Bus {
+	if w.bus != nil {
+		return w.bus
+	}
+	bus := trace.NewBus(func() time.Duration { return time.Duration(w.Sim.Now()) })
+	w.bus = bus
+	w.Seg.Bus = bus
+	pkt.SetTraceBus(bus)
+	for _, n := range w.nodes {
+		n.Mod.Bus = bus
+		n.Mod.Device().SetTrace(bus)
+		if n.Registry != nil {
+			n.Registry.SetTrace(bus)
+		}
+	}
+	return bus
+}
+
+// Bus returns the world's trace bus, or nil if EnableTrace was never called.
+func (w *World) Bus() *trace.Bus { return w.bus }
+
+// StatsRegistry builds a stats registry over every layer's counters. The
+// returned registry polls live state: snapshot it whenever a breakdown is
+// wanted. Per-process counters (packet pool, checksum) are reported relative
+// to the world's construction baseline.
+func (w *World) StatsRegistry() *stats.Registry {
+	r := stats.New()
+	r.RegisterFunc("wire", func(emit func(string, int64)) {
+		sent, dropped, corrupted, duplicated, bytes := w.Seg.Stats()
+		emit("frames_sent", int64(sent))
+		emit("frames_dropped", int64(dropped))
+		emit("frames_corrupted", int64(corrupted))
+		emit("frames_duplicated", int64(duplicated))
+		emit("bytes_sent", bytes)
+	})
+	for _, n := range w.nodes {
+		n := n
+		r.RegisterFunc(fmt.Sprintf("netdev.h%d", n.Index), func(emit func(string, int64)) {
+			st := n.Mod.Device().Stats()
+			emit("tx_frames", int64(st.TxFrames))
+			emit("rx_frames", int64(st.RxFrames))
+			emit("rx_dropped", int64(st.RxDropped))
+			emit("tx_bytes", st.TxBytes)
+			emit("rx_bytes", st.RxBytes)
+		})
+		r.RegisterFunc(fmt.Sprintf("netio.h%d", n.Index), func(emit func(string, int64)) {
+			emit("send_ok", int64(n.Mod.SendOK))
+			emit("send_rejected", int64(n.Mod.SendRejected))
+			emit("demux_matched", int64(n.Mod.DemuxMatched))
+			emit("demux_default", int64(n.Mod.DemuxDefault))
+			emit("rx_dropped", int64(n.Mod.RxDropped))
+			emit("delivered", int64(n.Mod.DeliveredTotal))
+			emit("notifications", int64(n.Mod.NotificationsTotal))
+			emit("copied_bytes", n.Mod.CopiedBytes)
+		})
+	}
+	r.RegisterFunc("pkt", func(emit func(string, int64)) {
+		c := pkt.Counters()
+		emit("gets", c.Gets-w.pktBase.Gets)
+		emit("puts", c.Puts-w.pktBase.Puts)
+		emit("recycled", c.Recycled-w.pktBase.Recycled)
+		emit("heap_allocs", c.HeapAllocs-w.pktBase.HeapAllocs)
+		emit("outstanding", (c.Gets-w.pktBase.Gets)-(c.Puts-w.pktBase.Puts))
+	})
+	r.RegisterFunc("checksum", func(emit func(string, int64)) {
+		emit("bytes_summed", checksum.BytesSummed()-w.checksumBase)
+	})
+	r.RegisterFunc("sim", func(emit func(string, int64)) {
+		fired, cancelled, maxHeap := w.Sim.Counters()
+		emit("events_fired", fired)
+		emit("timers_cancelled", cancelled)
+		emit("max_heap", int64(maxHeap))
+	})
+	return r
+}
+
+// StatsReport renders the full per-layer counter breakdown.
+func (w *World) StatsReport() string { return w.StatsRegistry().Render() }
 
 // Node returns host i.
 func (w *World) Node(i int) *Node { return w.nodes[i] }
