@@ -331,3 +331,228 @@ func TestChaosDeterministic(t *testing.T) {
 		t.Fatalf("same seed diverged: (%v,%d,%d) vs (%v,%d,%d)", e1, s1, d1, e2, s2, d2)
 	}
 }
+
+// The tentpole scenario: the SERVER's registry is killed mid-transfer and
+// restarted within the lease TTL. The data path never touches the registry,
+// so the transfer keeps moving through the outage; the reborn registry
+// rebuilds its port table and connection map from the module's installed
+// templates, and — because the restart beat the lease clock — nothing is
+// ever quarantined.
+func TestChaosRegistryCrashRestartMidTransfer(t *testing.T) {
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed: 21,
+			RegistryCrashes: []chaos.RegistryCrash{
+				{Host: 0, At: 100 * time.Millisecond, RestartAfter: 200 * time.Millisecond},
+			},
+		},
+	})
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	const chunks, chunk = 50, 512
+	received := 0
+	srvDone := false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, err := srv.Stack.Listen(th, 80, stacks.Options{})
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		c, err := l.Accept(th)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(th, buf)
+			if err != nil {
+				t.Errorf("server read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			received += n
+		}
+		srvDone = true
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		// Slow writes straddle the crash window [100ms, 300ms].
+		for i := 0; i < chunks; i++ {
+			if _, err := c.Write(th, pattern(chunk)); err != nil {
+				t.Errorf("client write: %v", err)
+				return
+			}
+			th.Sleep(10 * time.Millisecond)
+		}
+		c.Close(th)
+	})
+	w.RunUntil(time.Minute, func() bool { return srvDone })
+	if !srvDone {
+		t.Fatal("transfer did not survive the registry crash")
+	}
+	if received != chunks*chunk {
+		t.Fatalf("server received %d bytes, want %d", received, chunks*chunk)
+	}
+	r := w.Node(0).Registry
+	if r.Epoch() != 2 {
+		t.Fatalf("server registry epoch = %d, want 2 (one restart)", r.Epoch())
+	}
+	if r.RebuiltEndpoints() < 1 {
+		t.Fatal("reborn registry rebuilt nothing from the module's templates")
+	}
+	// Restart within the lease TTL: the quarantine machinery must stay cold.
+	if n := w.Node(0).Mod.QuarantineDrops + w.Node(1).Mod.QuarantineDrops; n != 0 {
+		t.Fatalf("%d frames quarantined despite the restart beating the lease TTL", n)
+	}
+}
+
+// The outage outlasts the lease TTL: the client host's module quarantines
+// the endpoint (sends rejected with ErrLeaseExpired, delivery suppressed),
+// the library's reconnect loop backs off and re-registers once the registry
+// is reborn, and the transfer then completes — a terminal error never
+// surfaces to the application.
+func TestChaosLeaseExpiryReregisterResumes(t *testing.T) {
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed: 23,
+			RegistryCrashes: []chaos.RegistryCrash{
+				{Host: 1, At: 100 * time.Millisecond, RestartAfter: 4 * time.Second},
+			},
+		},
+	})
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	const chunks, chunk = 300, 512
+	received := 0
+	srvDone := false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		c, err := l.Accept(th)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(th, buf)
+			if err != nil {
+				t.Errorf("server read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			received += n
+		}
+		srvDone = true
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		// ~6s of writes: the lease lapses at ~3.1s (crash + TTL), the
+		// registry returns at ~4.1s, and the stream must ride through both.
+		for i := 0; i < chunks; i++ {
+			if _, err := c.Write(th, pattern(chunk)); err != nil {
+				t.Errorf("client write: %v", err)
+				return
+			}
+			th.Sleep(20 * time.Millisecond)
+		}
+		c.Close(th)
+	})
+	w.RunUntil(2*time.Minute, func() bool { return srvDone })
+	if !srvDone {
+		t.Fatal("transfer did not resume after lease expiry and re-registration")
+	}
+	if received != chunks*chunk {
+		t.Fatalf("server received %d bytes, want %d", received, chunks*chunk)
+	}
+	if got := w.Node(1).Mod.SendRejected; got < 1 {
+		t.Fatal("no send was ever rejected: the lease never expired, scenario is not testing quarantine")
+	}
+	r := w.Node(1).Registry
+	if r.Epoch() != 2 {
+		t.Fatalf("client registry epoch = %d, want 2", r.Epoch())
+	}
+	if r.ReRegistered() < 1 {
+		t.Fatal("library never re-registered its connection with the reborn registry")
+	}
+}
+
+// Satellite: the chaos injector's delayed-reply path. Every control-plane
+// request is delayed past the library's first RPC timeout, so every request
+// is retried while the original is still in flight — without request-ID
+// dedup the retried listen would see ErrPortInUse from its own first
+// attempt and the retried connect would run a second handshake.
+func TestChaosDelayedReplyDeduped(t *testing.T) {
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed:    13,
+			Control: chaos.ControlFaults{DelayProb: 1.0, Delay: 400 * time.Millisecond},
+		},
+	})
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	received := ""
+	srvDone, cliDone := false, false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, err := srv.Stack.Listen(th, 80, stacks.Options{})
+		if err != nil {
+			t.Errorf("listen under delayed replies: %v", err)
+			return
+		}
+		c, err := l.Accept(th)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(th, buf)
+			if err != nil || n == 0 {
+				break
+			}
+			received += string(buf[:n])
+		}
+		srvDone = true
+	})
+	// Start the client late enough that the (delayed) listen is registered
+	// before the SYN can arrive.
+	cli.GoAfter(600*time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			t.Errorf("connect under delayed replies: %v", err)
+			return
+		}
+		if _, err := c.Write(th, []byte("deduped")); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		c.Close(th)
+		cliDone = true
+	})
+	w.RunUntil(time.Minute, func() bool { return srvDone && cliDone })
+	if !srvDone || !cliDone {
+		t.Fatalf("incomplete under delayed replies: srv=%v cli=%v", srvDone, cliDone)
+	}
+	if received != "deduped" {
+		t.Fatalf("server received %q", received)
+	}
+	// At least one retried request must have been answered from the cache.
+	if hits := w.Node(0).Registry.DedupHits() + w.Node(1).Registry.DedupHits(); hits < 1 {
+		t.Fatal("no dedup hits: the delayed-reply path never exercised the request-ID cache")
+	}
+}

@@ -143,3 +143,83 @@ func diffTraces(t *testing.T, seed uint64, a, b []string) {
 		}
 	}
 }
+
+// runRegistryCrashScenario is the crash-recovery member of the replay
+// matrix: wire faults plus a kill-and-restart of the server's registry
+// mid-transfer. Rebuild order (sorted module enumeration), lease renewals,
+// and the reborn server's perturbed ISS all feed the frame trace, so any
+// nondeterminism in the recovery path shows up as a diverging frame.
+func runRegistryCrashScenario(t *testing.T, seed uint64) []string {
+	t.Helper()
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed: seed,
+			Wire: wire.Faults{LossProb: 0.03, DupProb: 0.02},
+			RegistryCrashes: []chaos.RegistryCrash{
+				{Host: 0, At: 150 * time.Millisecond, RestartAfter: 200 * time.Millisecond},
+			},
+		},
+	})
+	var frames []string
+	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
+		h := fnv.New64a()
+		h.Write(frame.Bytes())
+		frames = append(frames, fmt.Sprintf("%d %d %016x", at, len(frame.Bytes()), h.Sum64()))
+	})
+
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	srvDone := false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		c, err := l.Accept(th)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(th, buf)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		srvDone = true
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			return
+		}
+		// Slow writes straddle the crash window, then an orderly close.
+		for i := 0; i < 60; i++ {
+			if _, err := c.Write(th, pattern(512)); err != nil {
+				return
+			}
+			th.Sleep(5 * time.Millisecond)
+		}
+		c.Close(th)
+	})
+	w.RunUntil(time.Minute, func() bool { return srvDone })
+	w.Run(2 * time.Second) // drain the close and any recovery stragglers
+	if !srvDone {
+		t.Fatal("crash-recovery scenario did not complete")
+	}
+	if w.Node(0).Registry.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", w.Node(0).Registry.Epoch())
+	}
+	if len(frames) == 0 {
+		t.Fatal("scenario produced no frames")
+	}
+	return frames
+}
+
+// TestRegistryCrashReplayDeterministic pins the acceptance criterion for
+// the recovery path: the same seeded kill-and-restart scenario must be
+// bit-identical across two replays.
+func TestRegistryCrashReplayDeterministic(t *testing.T) {
+	seed := uint64(17)
+	a := runRegistryCrashScenario(t, seed)
+	b := runRegistryCrashScenario(t, seed)
+	diffTraces(t, seed, a, b)
+}

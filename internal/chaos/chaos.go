@@ -36,6 +36,11 @@ type FaultPlan struct {
 
 	// Crashes schedules abrupt application terminations.
 	Crashes []CrashPoint
+
+	// RegistryCrashes schedules crashes of registry servers themselves —
+	// the control plane's single point of failure — optionally followed by
+	// a restart on the same host at a later virtual time.
+	RegistryCrashes []RegistryCrash
 }
 
 // ControlFaults describes registry service misbehaviour.
@@ -62,6 +67,21 @@ type CrashPoint struct {
 	App string
 	// At is the virtual time of the crash.
 	At time.Duration
+}
+
+// RegistryCrash kills one host's registry domain at time At. If
+// RestartAfter is nonzero, a fresh registry is started on the same host
+// RestartAfter later; it rebuilds its state from the network I/O module's
+// installed header templates. A zero RestartAfter means the registry never
+// comes back: capability leases run out and the module quarantines the
+// endpoints it was serving.
+type RegistryCrash struct {
+	// Host indexes the node whose registry dies.
+	Host int
+	// At is the virtual time of the crash.
+	At time.Duration
+	// RestartAfter is the delay from the crash to the restart (0 = never).
+	RestartAfter time.Duration
 }
 
 // WireFaults returns the data-plane fault set with the seed filled in.

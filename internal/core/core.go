@@ -19,7 +19,8 @@
 package core
 
 import (
-	"math/rand"
+	"hash/fnv"
+	"sort"
 	"time"
 
 	"ulp/internal/ipv4"
@@ -44,45 +45,78 @@ type Library struct {
 	conns map[*Conn]struct{}
 	ids   ipv4.IDGen
 
-	// rng drives retry jitter; seeded so runs stay deterministic.
-	rng *rand.Rand
+	// backoff drives control-plane retry delays (capped exponential with
+	// seeded jitter, shared schedule with the reconnect path).
+	backoff *stacks.Backoff
+
+	// idBase/reqSeq generate request IDs: the per-app hash base keeps IDs
+	// from different libraries on one registry distinct, the counter keeps
+	// them unique within the app. A retry reuses its request's ID, which
+	// is what lets the registry deduplicate.
+	idBase, reqSeq uint64
+
+	// reconnecting guards the single reconnect thread.
+	reconnecting bool
 }
 
 // Control-plane RPC hardening: every registry call carries a deadline and a
 // bounded retry budget, so a dead or wedged registry turns into a clean
 // ErrRegistryUnavailable instead of a hung application. Backoff doubles per
-// attempt with jitter so concurrent retriers do not re-synchronize.
+// attempt up to a cap with jitter so concurrent retriers do not
+// re-synchronize.
 const (
 	rpcAttempts    = 4
 	rpcBaseTimeout = 250 * time.Millisecond
+	rpcTimeoutCap  = 2 * time.Second
+
+	// reconnectAttempts bounds how long a library keeps trying to re-adopt
+	// its connections with a reborn registry before surfacing a terminal
+	// error. With the shared backoff schedule this spans several lease
+	// TTLs — long enough for any scheduled restart, finite so a registry
+	// that never returns yields ErrRegistryUnavailable, not a hang.
+	reconnectAttempts = 10
 )
 
+// nextReqID issues a fresh request id (never zero).
+func (l *Library) nextReqID() uint64 {
+	l.reqSeq++
+	return l.idBase | l.reqSeq
+}
+
 // callRegistry issues one control-plane RPC under the deadline/retry policy.
+// All attempts carry the same request ID, so a retry whose original was
+// executed (reply lost) is answered from the registry's dedup cache rather
+// than re-executed.
 func (l *Library) callRegistry(t *kern.Thread, m kern.Msg) (kern.Msg, error) {
+	m.ID = l.nextReqID()
 	timeout := rpcBaseTimeout
 	for attempt := 0; attempt < rpcAttempts; attempt++ {
 		if reply, ok := l.reg.Svc.CallTimeout(t, m, timeout); ok {
 			return reply, nil
 		}
-		// Exponential backoff with jitter in [backoff/2, backoff).
-		backoff := timeout / 2
-		backoff += time.Duration(l.rng.Int63n(int64(backoff) + 1))
-		t.Sleep(backoff)
-		timeout *= 2
+		if attempt < rpcAttempts-1 {
+			t.Sleep(l.backoff.Next(attempt))
+		}
+		if timeout < rpcTimeoutCap {
+			timeout *= 2
+		}
 	}
 	return kern.Msg{}, stacks.ErrRegistryUnavailable
 }
 
 // NewLibrary links the protocol library into an application domain.
 func NewLibrary(s *sim.Sim, app *kern.Domain, reg *registry.Server) *Library {
+	h := fnv.New64a()
+	h.Write([]byte(app.String()))
 	l := &Library{
-		s:     s,
-		host:  app.Host,
-		app:   app,
-		reg:   reg,
-		mod:   reg.Netif().Mod,
-		conns: make(map[*Conn]struct{}),
-		rng:   rand.New(rand.NewSource(seedFrom(app.Host.Name))),
+		s:       s,
+		host:    app.Host,
+		app:     app,
+		reg:     reg,
+		mod:     reg.Netif().Mod,
+		conns:   make(map[*Conn]struct{}),
+		backoff: stacks.NewBackoff(seedFrom(app.Host.Name), rpcBaseTimeout/2, rpcTimeoutCap),
+		idBase:  h.Sum64() &^ 0xFFFFF, // low 20 bits carry the counter
 	}
 	app.Spawn("lib-fast", l.fastTimer)
 	app.Spawn("lib-slow", l.slowTimer)
@@ -243,8 +277,96 @@ func (c *Conn) transmit(seg *stacks.Seg) {
 		lh.Encode(seg.Buf)
 	}
 	// Template violations cannot happen from this code path; a buggy or
-	// malicious library would be stopped here by the kernel.
-	_ = c.lib.mod.Send(t, c.cap, seg.Buf)
+	// malicious library would be stopped here by the kernel. A lease
+	// rejection is different: it means the control plane died and our
+	// endpoint is quarantined — kick off re-registration with the (to-be-)
+	// reborn registry. The rejected segment is recovered by ordinary TCP
+	// retransmission once the quarantine lifts.
+	if err := c.lib.mod.Send(t, c.cap, seg.Buf); err == netio.ErrLeaseExpired {
+		c.lib.scheduleReconnect()
+	}
+}
+
+// scheduleReconnect starts the (single) reconnect thread. Called from
+// engine context, so it only spawns; the loop does the blocking work.
+func (l *Library) scheduleReconnect() {
+	if l.reconnecting {
+		return
+	}
+	l.reconnecting = true
+	l.app.Spawn("reconnect", l.reconnectLoop)
+}
+
+// reconnectLoop retries re-registration of every live connection with
+// capped exponential backoff + seeded jitter (the schedule shared with
+// callRegistry). When the budget is spent without reaching a registry, a
+// terminal ErrRegistryUnavailable is surfaced on every connection.
+func (l *Library) reconnectLoop(t *kern.Thread) {
+	defer func() { l.reconnecting = false }()
+	for attempt := 0; attempt < reconnectAttempts; attempt++ {
+		t.Sleep(l.backoff.Next(attempt))
+		if l.reregisterAll(t) {
+			return
+		}
+		if len(l.conns) == 0 {
+			return // nothing left to re-adopt
+		}
+	}
+	for _, c := range l.sortedConns() {
+		c.fail(stacks.ErrRegistryUnavailable)
+	}
+}
+
+// reregisterAll re-claims every live connection with the registry. It
+// reports whether the registry answered; a refused claim (capability
+// revoked, template mismatch) fails that connection but counts as contact.
+func (l *Library) reregisterAll(t *kern.Thread) bool {
+	for _, c := range l.sortedConns() {
+		snap := c.tc.Snapshot()
+		m := kern.Msg{Op: "reregister", ID: l.nextReqID(), Body: registry.ReRegisterReq{
+			Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
+			PeerHW: c.peerHW, PeerBQI: c.peerBQI,
+			SndNxt: snap.SndNxt, RcvNxt: snap.RcvNxt,
+			Owner: l.app,
+		}}
+		reply, ok := l.reg.Svc.CallTimeout(t, m, rpcBaseTimeout)
+		if !ok {
+			return false
+		}
+		if err, _ := reply.Body.(error); err != nil {
+			// The reborn registry refused the claim: this endpoint no
+			// longer exists as far as the kernel is concerned.
+			c.fail(stacks.ErrReset)
+		}
+	}
+	return true
+}
+
+// sortedConns returns the live connections in local-port order, so map
+// iteration cannot perturb the deterministic schedule.
+func (l *Library) sortedConns() []*Conn {
+	out := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].tc.Local().Port < out[j].tc.Local().Port
+	})
+	return out
+}
+
+// fail terminates a connection without driving the engine: the control
+// plane is unreachable (or repudiated the connection), so there is nothing
+// orderly left to do. Blocked readers and writers wake with err.
+func (c *Conn) fail(err error) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.ch.Poke()
+	delete(c.lib.conns, c)
+	c.tc.SetCallbacks(tcp.Callbacks{})
+	c.sock.Fail(err)
 }
 
 // inputThread is the per-connection upcalled thread: it waits on the
@@ -327,9 +449,10 @@ func (c *Conn) teardown() {
 	c.done = true
 	c.ch.Poke()
 	delete(c.lib.conns, c)
-	c.lib.reg.Svc.SendAsync(kern.Msg{Op: "teardown", Body: registry.TeardownReq{
-		Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
-	}})
+	c.lib.reg.Svc.SendAsync(kern.Msg{Op: "teardown", ID: c.lib.nextReqID(),
+		Body: registry.TeardownReq{
+			Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
+		}})
 }
 
 // Read implements stacks.Conn.
@@ -375,6 +498,7 @@ func (l *Library) Exit(t *kern.Thread, abnormal bool) {
 		c.tc.SetCallbacks(tcp.Callbacks{}) // detach: the registry owns it now
 		l.reg.Svc.Send(t, kern.Msg{
 			Op:   "inherit",
+			ID:   l.nextReqID(),
 			Size: snap.Size(),
 			Body: registry.InheritReq{
 				Snap: snap, Cap: c.cap, Abort: abnormal,

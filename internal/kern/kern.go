@@ -213,6 +213,11 @@ type Msg struct {
 	Size int
 	// Reply, when non-nil, is the port the receiver should respond on.
 	Reply *Port
+	// ID, when nonzero, identifies the logical request across retries so a
+	// server can deduplicate: a retried RPC whose original reply was lost
+	// (timeout, dropped request) carries the same ID, and the server replays
+	// the cached outcome instead of executing the operation twice.
+	ID uint64
 }
 
 // Port is a Mach-style message port: a kernel-protected queue with send and

@@ -24,10 +24,13 @@ package netio
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"ulp/internal/filter"
 	"ulp/internal/ipv4"
 	"ulp/internal/kern"
+	"ulp/internal/lease"
 	"ulp/internal/link"
 	"ulp/internal/netdev"
 	"ulp/internal/pkt"
@@ -38,6 +41,10 @@ import (
 var (
 	ErrBadCapability    = errors.New("netio: invalid or revoked capability")
 	ErrTemplateMismatch = errors.New("netio: packet header violates send template")
+	// ErrLeaseExpired reports that the capability's lease ran out — the
+	// control plane that should be renewing it is dead. The endpoint is
+	// quarantined, not revoked: a restarted registry can re-adopt it.
+	ErrLeaseExpired = errors.New("netio: capability lease expired (control plane down)")
 )
 
 // Template constrains the headers of packets sent with a capability. Zero
@@ -120,6 +127,17 @@ type Capability struct {
 // if never assigned).
 func (c *Capability) Owner() *kern.Domain { return c.owner }
 
+// ID returns the capability's id (lease key, trace correlation).
+func (c *Capability) ID() uint64 { return c.id }
+
+// Template returns the current header template. A restarted registry
+// rebuilds its connection map from these — the module is the authoritative
+// ground truth for what endpoints exist.
+func (c *Capability) Template() Template { return c.template }
+
+// Chan returns the channel the capability grants access to.
+func (c *Capability) Chan() *Channel { return c.ch }
+
 // Channel is the shared-memory conduit between the module and one library
 // endpoint: a receive ring in pinned shared memory plus the notification
 // semaphore.
@@ -141,6 +159,9 @@ type Channel struct {
 	// overflow episodes (bursts); HighWater is the deepest the ring got.
 	Delivered, Dropped, Notifications int
 	Overflows, HighWater              int
+	// Quarantined counts packets suppressed because the channel's lease
+	// expired (control plane down).
+	Quarantined int
 }
 
 // Wait blocks the library thread until the channel is notified, then
@@ -211,6 +232,20 @@ func (ch *Channel) ID() uint64 { return ch.id }
 // extra notification so a slow consumer is prodded to drain the ring.
 func (ch *Channel) deliver(b *pkt.Buf) {
 	bus := ch.mod.Bus
+	if ch.mod.quarantined(ch.id) {
+		// The lease on this endpoint ran out: the control plane that
+		// vouched for it is dead. Deliver nothing until a reborn registry
+		// re-adopts the endpoint and resumes renewing. This single check
+		// covers every delivery source — software demux, the AN1 hardware
+		// ring, and kernel-path Inject.
+		ch.Quarantined++
+		ch.mod.QuarantineDrops++
+		if bus.Enabled() {
+			bus.Emit(trace.Event{Kind: trace.ChanQuarantine, Node: ch.mod.dev.Name(), A: int64(ch.id)})
+		}
+		b.Release()
+		return
+	}
 	if len(ch.rxq) >= ch.cap {
 		ch.Dropped++
 		ch.mod.RxDropped++
@@ -276,9 +311,23 @@ type Module struct {
 	// packet batching is very effective").
 	DisableBatching bool
 
+	// leases, when non-nil, bounds how long an endpoint may be served
+	// without the control plane renewing it. The table belongs to the
+	// module, not the registry: leases survive a registry crash exactly
+	// like the channels they guard.
+	leases *lease.Table
+
+	// FailSetup, when non-nil, is consulted by setup-time allocations —
+	// ReserveBQI ("bqi") and channel creation ("create") — and its error is
+	// returned instead of proceeding. Tests use it to drive the registry's
+	// setup error paths.
+	FailSetup func(op string) error
+
 	// Stats
 	SendOK, SendRejected, DemuxMatched, DemuxDefault int
 	RxDropped                                        int
+	// QuarantineDrops counts packets suppressed on lease-expired channels.
+	QuarantineDrops int
 	// DeliveredTotal/NotificationsTotal aggregate the per-channel
 	// counters across all channels (including destroyed ones), so the
 	// notification-batching ratio survives teardown.
@@ -359,6 +408,11 @@ func (m *Module) ReserveBQI(from *kern.Domain) (uint16, error) {
 	if !from.Privileged {
 		return 0, fmt.Errorf("netio: BQI reservation from unprivileged domain %s", from)
 	}
+	if m.FailSetup != nil {
+		if err := m.FailSetup("bqi"); err != nil {
+			return 0, err
+		}
+	}
 	if _, ok := m.dev.(*netdev.AN1); !ok {
 		return 0, nil // no hardware demultiplexing on this device
 	}
@@ -408,6 +462,11 @@ func (m *Module) CreateRawChannel(from *kern.Domain, et link.EtherType, tmpl Tem
 }
 
 func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
+	if m.FailSetup != nil {
+		if err := m.FailSetup("create"); err != nil {
+			return nil, nil, err
+		}
+	}
 	if ringSize <= 0 {
 		ringSize = 32
 	}
@@ -443,6 +502,9 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 	} else {
 		m.bindings = append(m.bindings, &binding{match: match, ch: ch})
 	}
+	if m.leases != nil {
+		m.leases.Grant(cap.id)
+	}
 	return cap, ch, nil
 }
 
@@ -457,6 +519,9 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 		return ErrBadCapability
 	}
 	delete(m.caps, cap.id)
+	if m.leases != nil {
+		m.leases.Drop(cap.id)
+	}
 	if cap.ch.bqi != 0 {
 		if an1, ok := m.dev.(*netdev.AN1); ok {
 			an1.RemoveRing(cap.ch.bqi)
@@ -480,6 +545,100 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 		m.Bus.Emit(trace.Event{Kind: trace.CapRevoked, Node: m.dev.Name(), A: int64(cap.id)})
 	}
 	return nil
+}
+
+// EnableLeases arms lease enforcement: every channel created from now on
+// is granted a lease of the given ttl, and an endpoint whose lease runs
+// out is quarantined (no delivery, sends rejected) until renewed.
+// Idempotent — a restarted registry calling it again keeps the existing
+// table, so leases granted by the previous incarnation stay in force.
+func (m *Module) EnableLeases(ttl time.Duration) *lease.Table {
+	if m.leases == nil {
+		m.leases = lease.NewTable(func() time.Duration {
+			return time.Duration(m.host.S.Now())
+		}, ttl)
+	}
+	return m.leases
+}
+
+// Leases returns the lease table (nil if EnableLeases was never called).
+func (m *Module) Leases() *lease.Table { return m.leases }
+
+// quarantined reports whether a channel's lease has expired.
+func (m *Module) quarantined(id uint64) bool {
+	return m.leases != nil && m.leases.Expired(id)
+}
+
+// RenewLeases extends every lease — the registry's heartbeat. Only a
+// privileged domain may renew. Returns how many leases were extended.
+func (m *Module) RenewLeases(from *kern.Domain) (int, error) {
+	if !from.Privileged {
+		return 0, fmt.Errorf("netio: lease renewal from unprivileged domain %s", from)
+	}
+	if m.leases == nil {
+		return 0, nil
+	}
+	return m.leases.RenewAll(), nil
+}
+
+// RenewLease extends one capability's lease (re-registration of a single
+// endpoint by a reborn registry).
+func (m *Module) RenewLease(from *kern.Domain, cap *Capability) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: lease renewal from unprivileged domain %s", from)
+	}
+	if cap == nil || m.caps[cap.id] != cap {
+		return ErrBadCapability
+	}
+	if m.leases != nil {
+		m.leases.Renew(cap.id)
+	}
+	return nil
+}
+
+// Installed reports whether cap is a currently valid capability of this
+// module (the reborn registry verifies re-registration claims with it).
+func (m *Module) Installed(cap *Capability) bool {
+	return cap != nil && m.caps[cap.id] == cap
+}
+
+// InstalledEndpoint describes one live endpoint for control-plane state
+// rebuild: the capability, its channel, the installed header template, the
+// owning application domain, and the hardware ring (0 on Ethernet).
+type InstalledEndpoint struct {
+	Cap      *Capability
+	Channel  *Channel
+	Template Template
+	Owner    *kern.Domain
+	BQI      uint16
+}
+
+// InstalledEndpoints enumerates every live endpoint, ordered by capability
+// id (deterministic). A restarted registry rebuilds its port table and
+// connection map from this — the in-kernel module, not the crashed
+// server's memory, is the authoritative record of what exists; exactly the
+// paper's trust split between the module and the registry.
+func (m *Module) InstalledEndpoints(from *kern.Domain) ([]InstalledEndpoint, error) {
+	if !from.Privileged {
+		return nil, fmt.Errorf("netio: endpoint enumeration from unprivileged domain %s", from)
+	}
+	ids := make([]uint64, 0, len(m.caps))
+	for id := range m.caps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	eps := make([]InstalledEndpoint, 0, len(ids))
+	for _, id := range ids {
+		cap := m.caps[id]
+		eps = append(eps, InstalledEndpoint{
+			Cap:      cap,
+			Channel:  cap.ch,
+			Template: cap.template,
+			Owner:    cap.owner,
+			BQI:      cap.ch.bqi,
+		})
+	}
+	return eps, nil
 }
 
 // AssignOwner records the application domain a capability was issued to.
@@ -575,6 +734,14 @@ func (m *Module) Send(t *kern.Thread, cap *Capability, frame *pkt.Buf) error {
 				A: id, Text: "bad-capability"})
 		}
 		return ErrBadCapability
+	}
+	if m.quarantined(cap.id) {
+		m.SendRejected++
+		if m.Bus.Enabled() {
+			m.Bus.Emit(trace.Event{Kind: trace.VerifyReject, Node: m.dev.Name(),
+				A: int64(cap.id), Text: "lease-expired"})
+		}
+		return ErrLeaseExpired
 	}
 	t.Compute(c.TemplateCheck)
 	if !cap.template.Verify(frame.Bytes(), m.dev.HdrLen()) {

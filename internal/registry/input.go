@@ -9,6 +9,7 @@ import (
 	"ulp/internal/pkt"
 	"ulp/internal/stacks"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 )
 
 // inputLoop is the registry's default-path receive thread: everything the
@@ -136,6 +137,18 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 	// out so the BQI can ride its link header.
 	if l, ok := r.listeners[local.Port]; ok &&
 		th.Flags&tcp.FlagSYN != 0 && th.Flags&(tcp.FlagACK|tcp.FlagRST) == 0 {
+		if l.pending >= l.backlog {
+			// Backlog full: drop the SYN deterministically instead of
+			// growing hsConn state without bound under a SYN flood. The
+			// legitimate client's retransmission retries once a slot
+			// frees; the flood's segments die here.
+			r.synDrops++
+			if r.bus.Enabled() {
+				r.bus.Emit(trace.Event{Kind: trace.ListenDrop, Node: r.host.Name,
+					A: int64(local.Port), B: int64(l.pending)})
+			}
+			return
+		}
 		hc := &hsConn{opts: l.opts, owner: l.owner, l: l, peerBQI: advBQI}
 		if r.nif.IsAN1() {
 			t.Compute(t.Cost().BQIReserve)
@@ -151,8 +164,11 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 		r.attach(tc, hc)
 		tc.OpenListen()
 		if err := r.owned.Insert(tc); err != nil {
+			delete(r.conns, tc) // duplicate tuple: drop, don't leak the entry
 			return
 		}
+		l.pending++
+		hc.inBacklog = true
 		r.runEngine(t, func() { tc.Input(th, seg.Bytes()) })
 		return
 	}

@@ -90,6 +90,19 @@ type InheritReq struct {
 	PeerBQI uint16
 }
 
+// ReRegisterReq re-claims a live, handed-off connection with a reborn
+// registry. The registry verifies the claim against the module's installed
+// capability and template before re-adopting — the library is untrusted,
+// the kernel's record is the ground truth.
+type ReRegisterReq struct {
+	Local, Peer    tcp.Endpoint
+	Cap            *netio.Capability
+	PeerHW         link.Addr
+	PeerBQI        uint16
+	SndNxt, RcvNxt tcp.Seq
+	Owner          *kern.Domain
+}
+
 // hsConn is a connection the registry currently owns: handshaking,
 // inherited, or awaiting teardown.
 type hsConn struct {
@@ -103,14 +116,20 @@ type hsConn struct {
 	ourBQI  uint16     // reserved before the handshake on the AN1
 	reply   *kern.Port // where to deliver the handoff
 	l       *listener  // set for passive-side pcbs
+	reqID   uint64     // originating request id (dedup cache completion)
+	// inBacklog marks a passive pcb counted against its listener's
+	// backlog, so exactly one decrement happens on handoff or failure.
+	inBacklog bool
 }
 
 // listener is a registered passive endpoint.
 type listener struct {
-	port   uint16
-	opts   stacks.Options
-	accept *kern.Port
-	owner  *kern.Domain
+	port    uint16
+	opts    stacks.Options
+	accept  *kern.Port
+	owner   *kern.Domain
+	backlog int // max concurrent handshakes
+	pending int // handshakes currently held
 }
 
 // xferConn records a connection handed off to a library: enough state to
@@ -164,6 +183,26 @@ type Server struct {
 	// a domain opening many connections registers exactly one hook.
 	watched map[*kern.Domain]bool
 
+	// epoch counts registry incarnations on this host (1 = first boot).
+	epoch int
+	// rebuildPending marks a restarted server that must reconstruct its
+	// state from the module before serving requests.
+	rebuildPending bool
+
+	// reqCache deduplicates control-plane requests by Msg.ID, bounded FIFO
+	// (reqOrder). A retried request whose original reply was lost replays
+	// the cached reply instead of executing twice; a retry racing an
+	// in-flight connect retargets the eventual handoff to the new reply
+	// port.
+	reqCache map[uint64]*pendingReq
+	reqOrder []uint64
+
+	// Counters (introspection and stats).
+	synDrops     int // SYNs dropped by a full listen backlog
+	dedupHits    int // duplicate requests answered from the cache
+	reregistered int // connections re-adopted via ReRegisterReq
+	rebuilt      int // endpoints reconstructed from module templates
+
 	// faults is the control-plane fault injector; nil injects nothing.
 	faults *chaos.Injector
 
@@ -190,8 +229,46 @@ type crashReq struct {
 	dom *kern.Domain
 }
 
+// pendingReq is one dedup-cache entry: the cached reply once the request
+// completed, or the in-flight handshake it is waiting on.
+type pendingReq struct {
+	done  bool
+	reply kern.Msg
+	hc    *hsConn // in-flight connect; a retry retargets hc.reply
+}
+
+// Registry failure-semantics parameters.
+const (
+	// LeaseTTL is how long the module serves an endpoint without the
+	// registry renewing it; LeaseHeartbeat is the renewal period. The TTL
+	// is three heartbeats so one delayed beat never quarantines anything.
+	LeaseTTL       = 3 * time.Second
+	LeaseHeartbeat = 1 * time.Second
+
+	// DefaultBacklog bounds concurrent handshakes per listener when the
+	// application does not set Options.Backlog.
+	DefaultBacklog = 16
+
+	// dedupCap bounds the request-ID cache (FIFO eviction).
+	dedupCap = 512
+)
+
 // New starts a registry server over a host's network I/O module.
 func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
+	return newServer(s, mod, ip, nil)
+}
+
+// Restart boots a fresh registry over the same module after a crash. The
+// previous incarnation's service port is reused — libraries hold send
+// rights to it, and a Mach-style port queue outlives the domain that was
+// receiving from it, so requests queued across the outage drain into the
+// new server. Port table and connection map are rebuilt from the module's
+// installed header templates before the first request is served.
+func Restart(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Server {
+	return newServer(s, mod, ip, prev)
+}
+
+func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Server {
 	r := &Server{
 		host:        mod.Device().Host(),
 		nif:         stacks.NewNetif(s, mod, ip),
@@ -204,11 +281,26 @@ func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
 		transferred: make(map[tcp.FourTuple]*xferConn),
 		udpChannels: make(map[uint16]*udpBinding),
 		watched:     make(map[*kern.Domain]bool),
+		reqCache:    make(map[uint64]*pendingReq),
+		epoch:       1,
+	}
+	if prev != nil {
+		r.epoch = prev.epoch + 1
+		r.Svc = prev.Svc
+		r.faults = prev.faults
+		r.bus = prev.bus
+		r.rebuildPending = true
+		// Perturb the ISS base per incarnation so connections the reborn
+		// registry opens cannot collide with sequence space the crashed one
+		// was using.
+		r.iss += tcp.Seq(250007 * uint32(r.epoch-1))
+	} else {
+		r.Svc = kern.NewPort(r.host, "registry")
 	}
 	r.dom = r.host.NewDomain("registry", true)
 	r.lock = s.NewSemaphore("registry-engine", 1)
-	r.Svc = kern.NewPort(r.host, "registry")
 	r.rxq = sim.NewQueue[*pkt.Buf](s)
+	mod.EnableLeases(LeaseTTL)
 	mod.SetDefaultHandler(func(b *pkt.Buf) {
 		if r.rxq.Len() == 0 {
 			r.host.ComputeAsync(r.host.Cost.KernelWakeup, nil)
@@ -219,7 +311,36 @@ func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
 	r.dom.Spawn("input", r.inputLoop)
 	r.dom.Spawn("tcp-fast", r.fastTimer)
 	r.dom.Spawn("tcp-slow", r.slowTimer)
+	r.dom.Spawn("lease-hb", r.leaseHeartbeat)
 	return r
+}
+
+// leaseHeartbeat renews every capability lease the module tracks. It
+// charges no CPU: the renewal models a kernel-side table write whose cost
+// is negligible next to the IPC-heavy control path, and keeping it free
+// leaves the fault-free experiment timings untouched.
+func (r *Server) leaseHeartbeat(t *kern.Thread) {
+	for {
+		t.Sleep(LeaseHeartbeat)
+		_, _ = r.nif.Mod.RenewLeases(r.dom)
+	}
+}
+
+// Crash kills the registry abruptly, as a chaos plan's RegistryCrash does:
+// every thread dies at its next scheduling point with no cleanup run. The
+// kernel-side consequences are modelled here: frames arriving on the
+// default path for a dead domain are discarded (and returned to the pool),
+// as is anything still queued for the dead input thread.
+func (r *Server) Crash() {
+	r.dom.Kill()
+	r.nif.Mod.SetDefaultHandler(func(b *pkt.Buf) { b.Release() })
+	for {
+		b, ok := r.rxq.TryPop()
+		if !ok {
+			break
+		}
+		b.Release()
+	}
 }
 
 // Netif exposes the registry's interface wiring (the library builds its
@@ -244,6 +365,10 @@ func (r *Server) nextISS() tcp.Seq {
 func (r *Server) SetControlFaults(inj *chaos.Injector) { r.faults = inj }
 
 func (r *Server) serviceLoop(t *kern.Thread) {
+	if r.rebuildPending {
+		r.rebuildPending = false
+		r.rebuild(t)
+	}
 	for {
 		m := r.Svc.Receive(t)
 		// Internal crash notifications bypass fault injection: reclamation
@@ -265,6 +390,29 @@ func (r *Server) serviceLoop(t *kern.Thread) {
 		if d := r.faults.RequestDelay(); d > 0 {
 			t.Sleep(d)
 		}
+		// Request-ID dedup: a retry of a request already seen must not
+		// execute twice — a re-run Connect would allocate a second port and
+		// run a second handshake. Completed requests replay the cached
+		// reply (the original's was lost with its abandoned reply port);
+		// retries of an in-flight connect retarget the eventual handoff.
+		if m.ID != 0 {
+			if e, ok := r.reqCache[m.ID]; ok {
+				r.dedupHits++
+				if r.bus.Enabled() {
+					r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name,
+						Text: m.Op + "-dup"})
+				}
+				if e.done {
+					if m.Reply != nil {
+						m.ReplyTo(t, e.reply)
+					}
+				} else if e.hc != nil {
+					e.hc.reply = m.Reply
+				}
+				continue
+			}
+			r.track(m.ID)
+		}
 		switch req := m.Body.(type) {
 		case ConnectReq:
 			r.handleConnect(t, m, req)
@@ -276,6 +424,8 @@ func (r *Server) serviceLoop(t *kern.Thread) {
 			r.handleInherit(t, req)
 		case TeardownReq:
 			r.handleTeardown(t, req)
+		case ReRegisterReq:
+			r.handleReRegister(t, m, req)
 		case BindUDPReq:
 			r.handleBindUDP(t, m, req)
 		case ResolveReq:
@@ -285,6 +435,44 @@ func (r *Server) serviceLoop(t *kern.Thread) {
 		case UnbindUDPReq:
 			r.handleUnbindUDP(t, req)
 		}
+	}
+}
+
+// track inserts an empty dedup entry for a request id, evicting the oldest
+// entry beyond the cache bound.
+func (r *Server) track(id uint64) {
+	if len(r.reqOrder) >= dedupCap {
+		delete(r.reqCache, r.reqOrder[0])
+		r.reqOrder = r.reqOrder[1:]
+	}
+	r.reqCache[id] = &pendingReq{}
+	r.reqOrder = append(r.reqOrder, id)
+}
+
+// finish records a request's reply in the dedup cache and delivers it.
+// One-way requests (nil Reply) are still recorded so a duplicate does not
+// re-execute (a double Teardown would double-release a port).
+func (r *Server) finish(t *kern.Thread, m kern.Msg, reply kern.Msg) {
+	if m.ID != 0 {
+		if e, ok := r.reqCache[m.ID]; ok {
+			e.done, e.reply, e.hc = true, reply, nil
+		}
+	}
+	if m.Reply != nil {
+		m.ReplyTo(t, reply)
+	}
+}
+
+// finishAsync is finish for replies produced outside the service loop (the
+// handoff sent by the established/closed callbacks).
+func (r *Server) finishAsync(reqID uint64, target *kern.Port, reply kern.Msg) {
+	if reqID != 0 {
+		if e, ok := r.reqCache[reqID]; ok {
+			e.done, e.reply, e.hc = true, reply, nil
+		}
+	}
+	if target != nil {
+		target.SendAsync(reply)
 	}
 }
 
@@ -300,13 +488,14 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	// channel itself — and on Ethernet the software demultiplexing binding
 	// — is activated as establishment completes, so handshake segments
 	// reach the registry's default path.
-	hc := &hsConn{opts: req.Opts, owner: req.Owner, reply: m.Reply}
+	hc := &hsConn{opts: req.Opts, owner: req.Owner, reply: m.Reply, reqID: m.ID}
 	r.watch(req.Owner)
 	if r.nif.IsAN1() {
 		t.Compute(t.Cost().BQIReserve)
 		bqi, err := r.nif.Mod.ReserveBQI(r.dom)
 		if err != nil {
-			m.ReplyTo(t, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
+			r.ports.Release(local.Port)
+			r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 			return
 		}
 		hc.ourBQI = bqi
@@ -316,8 +505,13 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	hc.tc = tc
 	r.attach(tc, hc)
 	if err := r.owned.Insert(tc); err != nil {
-		m.ReplyTo(t, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
+		delete(r.conns, tc)
+		r.ports.Release(local.Port)
+		r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 		return
+	}
+	if e, ok := r.reqCache[m.ID]; ok && m.ID != 0 {
+		e.hc = hc // a retry of this id retargets the eventual handoff
 	}
 	r.runEngine(t, func() { tc.OpenActive(r.nextISS()) })
 	// The reply is sent by the established/closed callbacks.
@@ -328,29 +522,40 @@ func (r *Server) handleListen(t *kern.Thread, m kern.Msg, req ListenReq) {
 	c := t.Cost()
 	t.Compute(c.RegistryPortAlloc)
 	if !r.ports.Reserve(req.Port) {
-		m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: stacks.ErrPortInUse})
+		r.finish(t, m, kern.Msg{Op: "listen-ack", Body: stacks.ErrPortInUse})
 		return
 	}
-	r.listeners[req.Port] = &listener{port: req.Port, opts: req.Opts, accept: req.AcceptPort, owner: req.Owner}
+	bl := req.Opts.Backlog
+	if bl <= 0 {
+		bl = DefaultBacklog
+	}
+	r.listeners[req.Port] = &listener{port: req.Port, opts: req.Opts,
+		accept: req.AcceptPort, owner: req.Owner, backlog: bl}
 	r.watch(req.Owner)
-	m.ReplyTo(t, kern.Msg{Op: "listen-ack", Body: nil})
+	r.finish(t, m, kern.Msg{Op: "listen-ack", Body: nil})
 }
 
 func (r *Server) handleUnlisten(t *kern.Thread, m kern.Msg, req UnlistenReq) {
-	delete(r.listeners, req.Port)
-	r.ports.Release(req.Port)
-	if m.Reply != nil {
-		m.ReplyTo(t, kern.Msg{Op: "unlisten-ack"})
+	if _, ok := r.listeners[req.Port]; ok {
+		delete(r.listeners, req.Port)
+		r.ports.Release(req.Port)
 	}
+	r.finish(t, m, kern.Msg{Op: "unlisten-ack"})
 }
 
-// handleTeardown reclaims the channel and port of a closed connection.
+// handleTeardown reclaims the channel and port of a closed connection. It
+// is idempotent: the port reference is dropped only if the connection was
+// still on record, so a duplicated teardown (or one racing a crash sweep)
+// cannot double-release a port another holder still owns.
 func (r *Server) handleTeardown(t *kern.Thread, req TeardownReq) {
 	if req.Cap != nil {
 		_ = r.nif.Mod.DestroyChannel(r.dom, req.Cap)
 	}
-	delete(r.transferred, tcp.FourTuple{Local: req.Local, Peer: req.Peer})
-	r.ports.Release(req.Local.Port)
+	ft := tcp.FourTuple{Local: req.Local, Peer: req.Peer}
+	if _, ok := r.transferred[ft]; ok {
+		delete(r.transferred, ft)
+		r.ports.Release(req.Local.Port)
+	}
 }
 
 // handleInherit takes a connection back from an exiting application.
@@ -439,13 +644,23 @@ func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 		OnClosed: func(err error) {
 			r.owned.Remove(tc)
 			delete(r.conns, tc)
-			r.ports.Release(tc.Local().Port)
+			if hc.inBacklog {
+				hc.inBacklog = false
+				hc.l.pending--
+			}
+			// Passive-side pcbs share the listener's port and hold no
+			// reference of their own until handoff; releasing here would
+			// strip the listener's reservation.
+			if hc.l == nil {
+				r.ports.Release(tc.Local().Port)
+			}
 			if hc.reply != nil {
 				// Handshake failed before handoff.
 				if hc.ourCap != nil {
 					_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
 				}
-				hc.reply.SendAsync(kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
+				r.finishAsync(hc.reqID, hc.reply,
+					kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
 				hc.reply = nil
 			}
 		},
@@ -495,6 +710,7 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 	// now, as establishment completes.
 	if hc.ourCap == nil {
 		if err := r.setupChannel(t, hc, tc.Local(), tc.Peer()); err != nil {
+			r.abortSetup(tc, hc, err)
 			return
 		}
 	}
@@ -515,6 +731,16 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 	snap := tc.Snapshot()
 	r.owned.Remove(tc)
 	delete(r.conns, tc)
+	if hc.inBacklog {
+		hc.inBacklog = false
+		hc.l.pending--
+	}
+	if hc.l != nil {
+		// The accepted connection shares its listener's port; the handoff
+		// takes a reference of its own, balanced by Teardown/Inherit/crash
+		// reclamation.
+		r.ports.Retain(tc.Local().Port)
+	}
 	if hc.owner != nil {
 		_ = r.nif.Mod.AssignOwner(r.dom, hc.ourCap, hc.owner)
 	}
@@ -538,10 +764,33 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 		PeerBQI: hc.peerBQI,
 	}
 	if hc.reply != nil {
-		hc.reply.SendAsync(kern.Msg{Op: "handoff", Body: ho, Size: snap.Size()})
+		r.finishAsync(hc.reqID, hc.reply, kern.Msg{Op: "handoff", Body: ho, Size: snap.Size()})
 		hc.reply = nil
 	} else if hc.l != nil {
 		hc.l.accept.SendAsync(kern.Msg{Op: "handoff", Body: ho, Size: snap.Size()})
+	}
+}
+
+// abortSetup unwinds a connection whose channel could not be created at
+// establishment time: without it the port, pcb-table entry and backlog
+// slot stayed allocated forever and the client never got an answer.
+func (r *Server) abortSetup(tc *tcp.Conn, hc *hsConn, err error) {
+	tc.SetCallbacks(tcp.Callbacks{})
+	r.owned.Remove(tc)
+	delete(r.conns, tc)
+	if hc.inBacklog {
+		hc.inBacklog = false
+		hc.l.pending--
+	}
+	if hc.l == nil {
+		r.ports.Release(tc.Local().Port)
+	}
+	msg := kern.Msg{Op: "handoff", Body: Handoff{Err: err}}
+	if hc.reply != nil {
+		r.finishAsync(hc.reqID, hc.reply, msg)
+		hc.reply = nil
+	} else if hc.l != nil {
+		hc.l.accept.SendAsync(msg)
 	}
 }
 
@@ -674,6 +923,113 @@ func (r *Server) sendCrashRST(t *kern.Thread, xc *xferConn) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash recovery: state rebuild and re-registration
+// ---------------------------------------------------------------------------
+
+// rebuild reconstructs the port table and connection map of a restarted
+// registry from the network I/O module's installed header templates — the
+// in-kernel module, not the crashed server's memory, is the authoritative
+// record of what endpoints exist (the paper's trust split: the module is
+// trusted, everything above it is reconstructible).
+//
+// What is deliberately NOT rebuilt: listeners and in-flight handshakes
+// (the library's RPC retry re-creates them), inherited TIME_WAIT pcbs
+// (strays for them get RSTs from the no-endpoint path, which is the
+// correct terminal outcome for a half-dead connection), and the dedup
+// cache (a request older than a registry crash has long exhausted its
+// retry budget).
+func (r *Server) rebuild(t *kern.Thread) {
+	eps, err := r.nif.Mod.InstalledEndpoints(r.dom)
+	if err != nil {
+		return
+	}
+	c := t.Cost()
+	n := 0
+	for _, ep := range eps {
+		tmpl := ep.Template
+		if tmpl.LocalIP != r.nif.IP {
+			continue
+		}
+		switch tmpl.Proto {
+		case ipv4.ProtoTCP:
+			if tmpl.RemotePort == 0 {
+				continue // not a fully specified connection endpoint
+			}
+			t.Compute(c.RegistryPortAlloc)
+			local := tcp.Endpoint{IP: tmpl.LocalIP, Port: tmpl.LocalPort}
+			peer := tcp.Endpoint{IP: tmpl.RemoteIP, Port: tmpl.RemotePort}
+			if !r.ports.Reserve(local.Port) {
+				r.ports.Retain(local.Port) // accepted conns share a port
+			}
+			r.transferred[tcp.FourTuple{Local: local, Peer: peer}] = &xferConn{
+				owner: ep.Owner, ch: ep.Channel, cap: ep.Cap,
+				local: local, peer: peer,
+				peerHW: tmpl.LinkDst, peerBQI: 0,
+				// Sequence numbers are unknown until the library
+				// re-registers; sendCrashRST's ACK-probe half still
+				// converges the peer if the owner dies before then.
+			}
+			r.watch(ep.Owner)
+			n++
+		case ipv4.ProtoUDP:
+			t.Compute(c.RegistryPortAlloc)
+			r.udpPorts.Reserve(tmpl.LocalPort)
+			r.udpChannels[tmpl.LocalPort] = &udpBinding{owner: ep.Owner, ch: ep.Channel, cap: ep.Cap}
+			r.watch(ep.Owner)
+			n++
+		}
+	}
+	r.rebuilt = n
+	// Resume renewing before anything can expire further: re-adopted
+	// endpoints leave quarantine immediately.
+	_, _ = r.nif.Mod.RenewLeases(r.dom)
+	if r.bus.Enabled() {
+		r.bus.Emit(trace.Event{Kind: trace.RegistryRestart, Node: r.host.Name,
+			A: int64(r.epoch), B: int64(n)})
+	}
+}
+
+// handleReRegister re-adopts a library's live connection after a registry
+// restart. The claim is verified against the module: the capability must
+// be installed and its template must name exactly the claimed four-tuple —
+// a library cannot talk its way into a connection the kernel never gave
+// it.
+func (r *Server) handleReRegister(t *kern.Thread, m kern.Msg, req ReRegisterReq) {
+	t.Compute(t.Cost().StateTransfer)
+	mod := r.nif.Mod
+	if !mod.Installed(req.Cap) {
+		r.finish(t, m, kern.Msg{Op: "reregister-ack", Body: netio.ErrBadCapability})
+		return
+	}
+	tmpl := req.Cap.Template()
+	if tmpl.Proto != ipv4.ProtoTCP ||
+		tmpl.LocalIP != req.Local.IP || tmpl.LocalPort != req.Local.Port ||
+		tmpl.RemoteIP != req.Peer.IP || tmpl.RemotePort != req.Peer.Port {
+		r.finish(t, m, kern.Msg{Op: "reregister-ack", Body: netio.ErrTemplateMismatch})
+		return
+	}
+	ft := tcp.FourTuple{Local: req.Local, Peer: req.Peer}
+	xc, ok := r.transferred[ft]
+	if !ok {
+		if !r.ports.Reserve(req.Local.Port) {
+			r.ports.Retain(req.Local.Port)
+		}
+		xc = &xferConn{local: req.Local, peer: req.Peer}
+		r.transferred[ft] = xc
+	}
+	xc.owner = req.Owner
+	xc.ch = req.Cap.Chan()
+	xc.cap = req.Cap
+	xc.peerHW = req.PeerHW
+	xc.peerBQI = req.PeerBQI
+	xc.sndNxt, xc.rcvNxt = req.SndNxt, req.RcvNxt
+	r.watch(req.Owner)
+	_ = mod.RenewLease(r.dom, req.Cap)
+	r.reregistered++
+	r.finish(t, m, kern.Msg{Op: "reregister-ack", Body: nil})
+}
+
+// ---------------------------------------------------------------------------
 // Introspection for tests and diagnostics
 // ---------------------------------------------------------------------------
 
@@ -691,3 +1047,20 @@ func (r *Server) PortsInUse() int { return r.ports.InUse() + r.udpPorts.InUse() 
 
 // ListenerCount returns registered passive endpoints.
 func (r *Server) ListenerCount() int { return len(r.listeners) }
+
+// Epoch returns the incarnation number (1 = first boot on this host).
+func (r *Server) Epoch() int { return r.epoch }
+
+// SynDrops returns SYNs dropped by full listen backlogs.
+func (r *Server) SynDrops() int { return r.synDrops }
+
+// DedupHits returns duplicate control-plane requests answered from the
+// request-ID cache instead of being re-executed.
+func (r *Server) DedupHits() int { return r.dedupHits }
+
+// ReRegistered returns connections re-adopted after a restart.
+func (r *Server) ReRegistered() int { return r.reregistered }
+
+// RebuiltEndpoints returns endpoints reconstructed from module templates
+// at restart.
+func (r *Server) RebuiltEndpoints() int { return r.rebuilt }

@@ -68,7 +68,7 @@ func (r *Server) handleBindUDP(t *kern.Thread, m kern.Msg, req BindUDPReq) {
 	c := t.Cost()
 	t.Compute(c.RegistryPortAlloc + c.ChannelSetup)
 	if !r.udpPorts.Reserve(req.Port) {
-		m.ReplyTo(t, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Err: stacks.ErrPortInUse}})
+		r.finish(t, m, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Err: stacks.ErrPortInUse}})
 		return
 	}
 	spec := filter.Spec{
@@ -89,7 +89,7 @@ func (r *Server) handleBindUDP(t *kern.Thread, m kern.Msg, req BindUDPReq) {
 	cap, ch, err := r.nif.Mod.CreateChannelBQI(r.dom, spec, tmpl, 32, bqi)
 	if err != nil {
 		r.udpPorts.Release(req.Port)
-		m.ReplyTo(t, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Err: err}})
+		r.finish(t, m, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Err: err}})
 		return
 	}
 	if req.Owner != nil {
@@ -97,25 +97,25 @@ func (r *Server) handleBindUDP(t *kern.Thread, m kern.Msg, req BindUDPReq) {
 		r.watch(req.Owner)
 	}
 	r.udpChannels[req.Port] = &udpBinding{owner: req.Owner, ch: ch, cap: cap}
-	m.ReplyTo(t, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Cap: cap, Channel: ch}})
+	r.finish(t, m, kern.Msg{Op: "udp-handoff", Body: UDPHandoff{Cap: cap, Channel: ch}})
 }
 
 // handleResolve performs the address-binding resolution, driving ARP as
 // needed.
 func (r *Server) handleResolve(t *kern.Thread, m kern.Msg, req ResolveReq) {
 	if !ipv4.SameSubnet(r.nif.IP, req.IP) {
-		m.ReplyTo(t, kern.Msg{Op: "resolve-reply", Body: ResolveReply{Err: stacks.ErrUnreachable}})
+		r.finish(t, m, kern.Msg{Op: "resolve-reply", Body: ResolveReply{Err: stacks.ErrUnreachable}})
 		return
 	}
 	for attempt := 0; attempt < 5; attempt++ {
 		if hw, ok := r.nif.ARP.Lookup(r.nifNow(), req.IP); ok {
-			m.ReplyTo(t, kern.Msg{Op: "resolve-reply", Body: ResolveReply{HW: hw}})
+			r.finish(t, m, kern.Msg{Op: "resolve-reply", Body: ResolveReply{HW: hw}})
 			return
 		}
 		r.txARPRequest(t, req.IP)
 		t.Sleep(2 * time.Millisecond)
 	}
-	m.ReplyTo(t, kern.Msg{Op: "resolve-reply", Body: ResolveReply{Err: stacks.ErrUnreachable}})
+	r.finish(t, m, kern.Msg{Op: "resolve-reply", Body: ResolveReply{Err: stacks.ErrUnreachable}})
 }
 
 // txARPRequest broadcasts an ARP request for ip.
@@ -137,9 +137,7 @@ func (r *Server) handleUDPSend(t *kern.Thread, m kern.Msg, req UDPSendReq) {
 	c := t.Cost()
 	t.Compute(c.RegistrySendPath)
 	r.nif.Mod.SendKernel(t, req.Frame)
-	if m.Reply != nil {
-		m.ReplyTo(t, kern.Msg{Op: "udp-send-ack"})
-	}
+	r.finish(t, m, kern.Msg{Op: "udp-send-ack"})
 }
 
 // handleUnbindUDP reclaims a datagram end-point.

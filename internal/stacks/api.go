@@ -30,6 +30,11 @@ type Options struct {
 	// honest — only the cost model is relieved, as a hardware-checksum
 	// link would).
 	NoChecksum bool
+	// Backlog bounds concurrent handshakes held for a listener; a SYN
+	// arriving beyond it is deterministically dropped (the client's
+	// retransmission retries once capacity frees up). 0 = implementation
+	// default.
+	Backlog int
 }
 
 // Stack is one protocol organization instantiated on one host.

@@ -1,0 +1,50 @@
+package stacks
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the retry schedule: delay number n is jittered
+// into [d/2, d) for d = min(base·2ⁿ, cap).
+func TestBackoffSchedule(t *testing.T) {
+	b := NewBackoff(42, 100*time.Millisecond, 800*time.Millisecond)
+	wants := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for attempt, want := range wants {
+		d := b.Next(attempt)
+		if d < want/2 || d > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+		}
+	}
+}
+
+// TestBackoffDeterministic: same seed, same jitter sequence; different
+// seeds de-synchronize.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(7, 50*time.Millisecond, time.Second)
+	b := NewBackoff(7, 50*time.Millisecond, time.Second)
+	c := NewBackoff(8, 50*time.Millisecond, time.Second)
+	same, diff := true, true
+	for i := 0; i < 8; i++ {
+		da, db, dc := a.Next(i), b.Next(i), c.Next(i)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical schedules (jitter inert)")
+	}
+}

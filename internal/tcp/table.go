@@ -94,25 +94,32 @@ func (t *Table) Each(fn func(*Conn)) {
 	}
 }
 
-// PortAlloc hands out ephemeral local ports, BSD-style (1024..5000).
+// PortAlloc hands out ephemeral local ports, BSD-style (1024..5000). Ports
+// are reference-counted: a listener and the passive connections accepted
+// through it share the same local port, each holding one reference, and the
+// port is free again only when the last holder releases it.
 type PortAlloc struct {
 	next  uint16
-	inUse map[uint16]bool
+	inUse map[uint16]int
 }
 
 // NewPortAlloc creates an allocator.
 func NewPortAlloc() *PortAlloc {
-	return &PortAlloc{next: 1024, inUse: make(map[uint16]bool)}
+	return &PortAlloc{next: 1024, inUse: make(map[uint16]int)}
 }
 
 // Reserve claims a specific port (bind); it reports whether it was free.
 func (a *PortAlloc) Reserve(p uint16) bool {
-	if a.inUse[p] {
+	if a.inUse[p] > 0 {
 		return false
 	}
-	a.inUse[p] = true
+	a.inUse[p] = 1
 	return true
 }
+
+// Retain adds a reference to a port (an accepted connection sharing its
+// listener's port). Retaining an unallocated port allocates it.
+func (a *PortAlloc) Retain(p uint16) { a.inUse[p]++ }
 
 // Ephemeral allocates the next free ephemeral port.
 func (a *PortAlloc) Ephemeral() uint16 {
@@ -122,15 +129,21 @@ func (a *PortAlloc) Ephemeral() uint16 {
 		if a.next >= 5000 {
 			a.next = 1024
 		}
-		if !a.inUse[p] {
-			a.inUse[p] = true
+		if a.inUse[p] == 0 {
+			a.inUse[p] = 1
 			return p
 		}
 	}
 }
 
-// Release frees a port for reuse.
-func (a *PortAlloc) Release(p uint16) { delete(a.inUse, p) }
+// Release drops one reference; the port is free when the count hits zero.
+func (a *PortAlloc) Release(p uint16) {
+	if n := a.inUse[p]; n > 1 {
+		a.inUse[p] = n - 1
+	} else {
+		delete(a.inUse, p)
+	}
+}
 
 // InUse returns the number of allocated ports. Crash-reclamation tests
 // assert this returns to zero after an application dies.

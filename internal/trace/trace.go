@@ -56,6 +56,11 @@ const (
 	PoolGet
 	PoolPut
 	PoolLeak // leak report found outstanding buffers; A = count
+
+	// Crash-recovery events.
+	ListenDrop      // SYN dropped by a full listen backlog; A = listener port, B = pending handshakes
+	ChanQuarantine  // delivery suppressed: capability lease expired; A = capability id
+	RegistryRestart // reborn registry rebuilt state from the module; A = epoch, B = endpoints re-adopted
 )
 
 var kindNames = [...]string{
@@ -80,6 +85,10 @@ var kindNames = [...]string{
 	PoolGet:      "pool-get",
 	PoolPut:      "pool-put",
 	PoolLeak:     "pool-leak",
+
+	ListenDrop:      "listen-drop",
+	ChanQuarantine:  "chan-quarantine",
+	RegistryRestart: "registry-restart",
 }
 
 func (k Kind) String() string {

@@ -218,6 +218,16 @@ func NewWorld(cfg Config) *World {
 			if cfg.Chaos != nil {
 				n.Registry.SetControlFaults(chaos.NewInjector(
 					cfg.Chaos.Seed+uint64(i), cfg.Chaos.Control))
+				for _, rc := range cfg.Chaos.RegistryCrashes {
+					if rc.Host != i {
+						continue
+					}
+					nn := n
+					s.After(sim.Dur(rc.At), func() { nn.Registry.Crash() })
+					if rc.RestartAfter > 0 {
+						s.After(sim.Dur(rc.At+rc.RestartAfter), func() { nn.RestartRegistry() })
+					}
+				}
 			}
 		case OrgInKernel:
 			n.InKernel = stacks.NewInKernel(s, mod, n.IP)
@@ -292,7 +302,24 @@ func (w *World) StatsRegistry() *stats.Registry {
 			emit("delivered", int64(n.Mod.DeliveredTotal))
 			emit("notifications", int64(n.Mod.NotificationsTotal))
 			emit("copied_bytes", n.Mod.CopiedBytes)
+			emit("quarantine_drops", int64(n.Mod.QuarantineDrops))
 		})
+		if n.Registry != nil {
+			// The closure reads n.Registry at snapshot time, so it tracks
+			// the live incarnation across restarts.
+			r.RegisterFunc(fmt.Sprintf("registry.h%d", n.Index), func(emit func(string, int64)) {
+				reg := n.Registry
+				emit("epoch", int64(reg.Epoch()))
+				emit("ports_in_use", int64(reg.PortsInUse()))
+				emit("owned_conns", int64(reg.OwnedConns()))
+				emit("transferred", int64(reg.TransferredConns()))
+				emit("listeners", int64(reg.ListenerCount()))
+				emit("syn_dropped", int64(reg.SynDrops()))
+				emit("dedup_hits", int64(reg.DedupHits()))
+				emit("reregistered", int64(reg.ReRegistered()))
+				emit("rebuilt_endpoints", int64(reg.RebuiltEndpoints()))
+			})
+		}
 	}
 	r.RegisterFunc("pkt", func(emit func(string, int64)) {
 		c := pkt.Counters()
@@ -388,6 +415,16 @@ func (a *App) Go(name string, fn func(t *kern.Thread)) *kern.Thread {
 // GoAfter runs fn as an application thread after a delay.
 func (a *App) GoAfter(d time.Duration, name string, fn func(t *kern.Thread)) *kern.Thread {
 	return a.Dom.SpawnAfter(d, name, fn)
+}
+
+// RestartRegistry boots a fresh registry over the node's network I/O
+// module after a crash (see registry.Restart: the service port is reused
+// and state is rebuilt from the module's installed templates). Libraries
+// created before the crash keep working — their handle resolves to the
+// same service port and interface wiring.
+func (n *Node) RestartRegistry() *registry.Server {
+	n.Registry = registry.Restart(n.world.Sim, n.Mod, n.IP, n.Registry)
+	return n.Registry
 }
 
 // UDP returns the node's datagram service (monolithic organizations).
