@@ -74,6 +74,7 @@ func TestChaosCrashMidTransferResetsPeer(t *testing.T) {
 			Crashes: []chaos.CrashPoint{{Host: 1, App: "client", At: 80 * time.Millisecond}},
 		},
 	})
+	enableConformance(t, w)
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
 	var srvErr error
@@ -144,6 +145,7 @@ func TestChaosCrashDuringHandshake(t *testing.T) {
 			Crashes: []chaos.CrashPoint{{Host: 1, App: "client", At: 20 * time.Millisecond}},
 		},
 	})
+	enableConformance(t, w)
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
 	srv.Go("srv", func(th *kern.Thread) {
@@ -191,6 +193,7 @@ func TestChaosCrashDuringHandshake(t *testing.T) {
 func TestChaosOrderlyExitLeavesNoState(t *testing.T) {
 	trackPoolLeaks(t)
 	w := NewWorld(Config{Org: OrgUserLib, Net: Ethernet})
+	enableConformance(t, w)
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
 	srvSawEOF, cliDone := false, false
@@ -276,6 +279,7 @@ func TestChaosTransferSurvivesCombinedFaults(t *testing.T) {
 			Control: chaos.ControlFaults{DelayProb: 0.5, Delay: 30 * time.Millisecond},
 		},
 	})
+	enableConformance(t, w)
 	echoTransfer(t, w, 64*1024, stacks.Options{}, 5*time.Minute)
 }
 
@@ -348,6 +352,7 @@ func TestChaosRegistryCrashRestartMidTransfer(t *testing.T) {
 			},
 		},
 	})
+	enableConformance(t, w)
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
 	const chunks, chunk = 50, 512
@@ -429,6 +434,7 @@ func TestChaosLeaseExpiryReregisterResumes(t *testing.T) {
 			},
 		},
 	})
+	enableConformance(t, w)
 	srv := w.Node(0).App("server")
 	cli := w.Node(1).App("client")
 	const chunks, chunk = 300, 512

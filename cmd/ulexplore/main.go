@@ -1,0 +1,101 @@
+// Command ulexplore runs the coverage-guided fault-schedule explorer
+// against the TCP engine: a baseline pass over the scenario library (which
+// alone walks every legal RFC 793 transition edge), then seeded mutation
+// rounds that place extra faults — frame drops, injected resets, aborts,
+// link cuts — steered toward any still-uncovered edges. Every run streams
+// through the conformance checker; violations are delta-debugged down to
+// minimal deterministic reproducers.
+//
+// Usage:
+//
+//	ulexplore                          # default seed/budget campaign
+//	ulexplore -seed 7 -budget 500      # bigger seeded campaign
+//	ulexplore -min-coverage 0.9        # fail if edge coverage falls short
+//	ulexplore -out repro.json          # write reproducers as JSON artifacts
+//	ulexplore -replay repro.json       # re-run a saved reproducer
+//
+// Exit status: 0 on a clean campaign, 1 if any violation was found or the
+// coverage floor was missed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ulp/internal/explore"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "mutation RNG seed (same seed => identical campaign)")
+	budget := flag.Int("budget", 100, "total scenario executions (baseline library runs count)")
+	minCov := flag.Float64("min-coverage", 0.9, "minimum fraction of legal (state, trigger) edges to exercise")
+	out := flag.String("out", "", "write reproducers (JSON) to this file")
+	replay := flag.String("replay", "", "replay a reproducer file instead of exploring")
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	rep := explore.New(*seed, *budget).Explore()
+	fmt.Printf("explored %d schedules: %d/%d legal edges (%.0f%%), %d reproducers\n",
+		rep.Runs, rep.Covered, rep.Total, 100*rep.Coverage, len(rep.Reproducers))
+	for _, e := range rep.Missing {
+		fmt.Println("  uncovered:", e)
+	}
+	for _, r := range rep.Reproducers {
+		fmt.Printf("  VIOLATION %s in %q (%d-fault reproducer): %s\n",
+			r.Violation.Rule, r.Scenario, len(r.Faults), r.Violation.Detail)
+	}
+
+	if *out != "" && len(rep.Reproducers) > 0 {
+		blob, err := json.MarshalIndent(rep.Reproducers, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Println("write reproducers:", err)
+			os.Exit(1)
+		}
+		fmt.Println("reproducers written to", *out)
+	}
+
+	if len(rep.Reproducers) > 0 || rep.Coverage < *minCov {
+		if rep.Coverage < *minCov {
+			fmt.Printf("coverage %.2f below floor %.2f\n", rep.Coverage, *minCov)
+		}
+		os.Exit(1)
+	}
+}
+
+func runReplay(path string) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Println("replay:", err)
+		return 1
+	}
+	var repros []explore.Reproducer
+	if err := json.Unmarshal(blob, &repros); err != nil {
+		// Also accept a single reproducer object.
+		var one explore.Reproducer
+		if err2 := json.Unmarshal(blob, &one); err2 != nil {
+			fmt.Println("replay:", err)
+			return 1
+		}
+		repros = []explore.Reproducer{one}
+	}
+	status := 0
+	for _, r := range repros {
+		res, err := explore.Replay(r)
+		if err != nil {
+			fmt.Printf("%s: %v\n", r.Scenario, err)
+			status = 1
+			continue
+		}
+		fmt.Printf("%s: reproduced %s (%d violations, %d steps, %d frames)\n",
+			r.Scenario, r.Violation.Rule, len(res.Violations), res.Steps, res.Frames)
+	}
+	return status
+}

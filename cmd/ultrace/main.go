@@ -11,6 +11,8 @@
 //	ultrace -pcap out.pcap       # also write frames as a capture file
 //	                             # readable by tcpdump/wireshark (Ethernet
 //	                             # scenarios decode fully; AN1 uses DLT_USER0)
+//	ultrace -conform             # check the run against the RFC 793 state
+//	                             # machine; non-zero exit on any violation
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"ulp"
 	"ulp/internal/arp"
+	"ulp/internal/conform"
 	"ulp/internal/ipv4"
 	"ulp/internal/kern"
 	"ulp/internal/link"
@@ -38,6 +41,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "wire loss probability")
 	bytes := flag.Int("bytes", 3000, "payload bytes to echo")
 	pcapPath := flag.String("pcap", "", "write every transmitted frame to this pcap file")
+	conformFlag := flag.Bool("conform", false, "check the trace against the RFC 793 state machine; exit 1 on violations")
 	flag.Parse()
 
 	cfg := ulp.Config{}
@@ -68,6 +72,10 @@ func main() {
 	}
 
 	w := ulp.NewWorld(cfg)
+	var checker *conform.Checker
+	if *conformFlag {
+		checker = w.EnableConformance()
+	}
 	an1 := cfg.Net != ulp.Ethernet
 	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
 		fmt.Printf("%12v  %s\n", at, renderFrame(frame, an1))
@@ -138,6 +146,18 @@ func main() {
 	})
 	w.RunUntil(5*time.Minute, func() bool { return done })
 	w.Run(100 * time.Millisecond) // drain the close exchange
+
+	if checker != nil {
+		cov := checker.Coverage()
+		fmt.Printf("conformance: %d violations, %d/%d legal transition edges exercised\n",
+			len(checker.Violations()), cov.Count(), cov.Total())
+		for _, v := range checker.Violations() {
+			fmt.Println("  ", v)
+		}
+		if len(checker.Violations()) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 // renderFrame decodes one frame for display.

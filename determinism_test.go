@@ -55,6 +55,10 @@ func runSeededScenario(t *testing.T, seed uint64, withTrace bool) []string {
 	})
 	if withTrace {
 		w.EnableTrace().Subscribe(func(trace.Event) {})
+		// Traced runs also stream through the RFC 793 conformance checker:
+		// the chaos schedule must never push an engine through an illegal
+		// transition, and the checker must not perturb the trace.
+		enableConformance(t, w)
 	}
 	var frames []string
 	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {

@@ -1,0 +1,416 @@
+package conform
+
+import (
+	"fmt"
+	"time"
+
+	"ulp/internal/tcp"
+	"ulp/internal/trace"
+)
+
+// Config parameterizes the checker. The zero value is completed with the
+// engine's defaults by New.
+type Config struct {
+	// Tick is the slow-timer period all tick-counter intervals are
+	// expressed in (default 500 ms, the 4.3BSD slow timeout).
+	Tick time.Duration
+	// SlackTicks is the timing tolerance for tick-based checks: timers are
+	// decremented at host tick boundaries, so an interval of N ticks armed
+	// between ticks legitimately elapses in (N-1, N] tick periods. One
+	// extra tick of slack on each side absorbs the arming phase.
+	SlackTicks int
+	// MaxViolations caps the report list so a systematically broken run
+	// cannot accumulate unbounded reports; Truncated reports overflow.
+	MaxViolations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick == 0 {
+		c.Tick = 500 * time.Millisecond
+	}
+	if c.SlackTicks == 0 {
+		c.SlackTicks = 1
+	}
+	if c.MaxViolations == 0 {
+		c.MaxViolations = 100
+	}
+	return c
+}
+
+// Violation is one conformance failure, with enough structure for the
+// explorer to key, dedup, and shrink on it.
+type Violation struct {
+	Conn   string        `json:"conn"`            // connection or flow label
+	Index  int           `json:"index"`           // ordinal of the offending event in the observed stream
+	At     time.Duration `json:"at"`              // virtual time
+	Rule   string        `json:"rule"`            // which invariant failed
+	Detail string        `json:"detail"`          // human-readable specifics
+	Edge   *Edge         `json:"edge,omitempty"`  // offending transition, for edge rules
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("conform: %s at %v (event %d, conn %q): %s",
+		v.Rule, v.At, v.Index, v.Conn, v.Detail)
+}
+
+// Rule names.
+const (
+	RuleIllegalEdge      = "illegal-edge"       // transition outside the legal relation
+	RuleBadTrigger       = "bad-trigger"        // legal edge, impossible trigger class
+	RuleDiscontinuity    = "state-discontinuity" // event's old state != tracked state
+	RuleTimeWait         = "timewait-duration"  // TIME_WAIT shorter/longer than armed 2*MSL
+	RuleTimeWaitArm      = "timewait-arm-state" // 2*MSL armed outside TIME_WAIT
+	RuleRexmitState      = "rexmit-state"       // retransmission in an impossible state
+	RuleRexmitRange      = "rexmit-range"       // backoff shift or RTO out of range
+	RulePersistState     = "persist-state"      // window probe in an impossible state
+	RulePersistRange     = "persist-range"      // persist shift or interval out of range
+	RuleRTOState         = "rto-state"          // RTT sample in an impossible state
+	RuleKarn             = "karn-sample"        // RTT sample spans a retransmission
+	RuleRTOMismatch      = "rto-mismatch"       // RTO disagrees with the Jacobson estimator
+	RuleAckRegress       = "ack-regress"        // ACK field moved backward on a flow
+	RuleDataAfterFin     = "data-after-fin"     // payload beyond the flow's FIN
+	RuleFinMoved         = "fin-moved"          // FIN retransmitted at a different sequence
+)
+
+// connTrack is the checker's per-connection-label state.
+type connTrack struct {
+	seen  bool
+	state tcp.State
+	// birth is set when the first observed event shows the connection in
+	// Closed: only then do we know the engine's estimator state from the
+	// start, so estimator-mirror and Karn checks apply. Connections first
+	// observed mid-life (snapshot/restore handoffs) get edge and timing
+	// checks only.
+	birth bool
+
+	// TIME_WAIT duration tracking.
+	twArmed    bool
+	twArmedAt  time.Duration
+	twTicks    int64
+	sawTWEntry bool
+
+	// Karn rule: time of the most recent retransmission.
+	sawRexmit    bool
+	lastRexmitAt time.Duration
+
+	// Jacobson estimator mirror (valid only when birth).
+	srtt, rttvar int
+}
+
+// flowKey identifies one direction of one four-tuple on the wire.
+type flowKey struct {
+	src, dst tcp.Endpoint
+}
+
+// flowTrack is per-directed-flow sequence bookkeeping.
+type flowTrack struct {
+	hasAck  bool
+	maxAck  tcp.Seq
+	finSeen bool
+	finSeq  tcp.Seq // sequence number of the FIN flag itself
+}
+
+// Checker consumes TCP trace events (and transmitted frames) and verifies
+// them against the RFC 793 spec in spec.go. Attach it to a trace.Bus with
+// Attach, or feed it directly with HandleEvent / Segment.
+type Checker struct {
+	cfg   Config
+	conns map[string]*connTrack
+	flows map[flowKey]*flowTrack
+	cov   *Coverage
+
+	idx        int // events observed (all kinds), for violation indexing
+	violations []Violation
+	truncated  bool
+}
+
+// New creates a checker with the given configuration.
+func New(cfg Config) *Checker {
+	return &Checker{
+		cfg:   cfg.withDefaults(),
+		conns: make(map[string]*connTrack),
+		flows: make(map[flowKey]*flowTrack),
+		cov:   NewCoverage(),
+	}
+}
+
+// Attach subscribes the checker to a bus.
+func (k *Checker) Attach(bus *trace.Bus) { bus.Subscribe(k.HandleEvent) }
+
+// Violations returns the accumulated reports.
+func (k *Checker) Violations() []Violation { return k.violations }
+
+// Truncated reports whether reports were dropped after MaxViolations.
+func (k *Checker) Truncated() bool { return k.truncated }
+
+// Coverage returns the legal-edge coverage accumulated so far.
+func (k *Checker) Coverage() *Coverage { return k.cov }
+
+func (k *Checker) report(conn string, at time.Duration, rule, detail string, edge *Edge) {
+	if len(k.violations) >= k.cfg.MaxViolations {
+		k.truncated = true
+		return
+	}
+	k.violations = append(k.violations, Violation{
+		Conn: conn, Index: k.idx, At: at, Rule: rule, Detail: detail, Edge: edge,
+	})
+}
+
+func (k *Checker) conn(label string) *connTrack {
+	ct := k.conns[label]
+	if ct == nil {
+		ct = &connTrack{}
+		k.conns[label] = ct
+	}
+	return ct
+}
+
+// HandleEvent is the bus subscriber: it dispatches on the TCP event kinds
+// and transmitted frames, ignoring everything else.
+func (k *Checker) HandleEvent(e trace.Event) {
+	k.idx++
+	switch e.Kind {
+	case trace.TCPState:
+		k.onState(e)
+	case trace.TCPTimeWait:
+		k.onTimeWaitArm(e)
+	case trace.TCPRexmit:
+		k.onRexmit(e)
+	case trace.TCPRTO:
+		k.onRTO(e)
+	case trace.TCPPersist:
+		k.onPersist(e)
+	case trace.FrameTx:
+		// Transmit-time frames are pre-fault-injection, so flow invariants
+		// hold regardless of chaos configuration.
+		k.onFrame(e.At, e.Frame)
+	}
+}
+
+func (k *Checker) onState(e trace.Event) {
+	from, to := tcp.State(e.A), tcp.State(e.B)
+	via := tcp.Trigger(e.C)
+	ct := k.conn(e.Conn)
+
+	if ct.seen && ct.state != from {
+		k.report(e.Conn, e.At, RuleDiscontinuity,
+			fmt.Sprintf("transition %s->%s but connection was tracked in %s",
+				from, to, ct.state), nil)
+		// Resynchronize on the event's own old state so one glitch does not
+		// cascade into a report per subsequent event.
+	}
+	if !ct.seen {
+		ct.seen = true
+		ct.birth = from == tcp.Closed
+	}
+
+	edge := Edge{From: from, To: to, Via: via}
+	switch {
+	case Legal(from, to, via):
+		k.cov.Hit(edge)
+	case edgeKnown(from, to):
+		k.report(e.Conn, e.At, RuleBadTrigger,
+			fmt.Sprintf("edge %s->%s cannot be caused by %q", from, to, via), &edge)
+	default:
+		k.report(e.Conn, e.At, RuleIllegalEdge,
+			fmt.Sprintf("no legal transition %s->%s (trigger %q)", from, to, via), &edge)
+	}
+
+	if to == tcp.TimeWait {
+		ct.sawTWEntry = true
+		ct.twArmed = false // the arm event follows the transition
+	}
+	if from == tcp.TimeWait && to == tcp.Closed && via == tcp.TrigTimer {
+		k.checkTimeWaitRelease(e, ct)
+	}
+	ct.state = to
+}
+
+// checkTimeWaitRelease verifies the 2*MSL quiet period: the timer release
+// must come the armed number of ticks after the most recent arming. A timer
+// armed between host ticks legitimately fires within (N-1, N] tick periods;
+// SlackTicks widens both bounds.
+func (k *Checker) checkTimeWaitRelease(e trace.Event, ct *connTrack) {
+	if !ct.twArmed {
+		if ct.sawTWEntry {
+			k.report(e.Conn, e.At, RuleTimeWait,
+				"TIME_WAIT released by timer but no 2*MSL arming was observed", nil)
+		}
+		return
+	}
+	elapsed := e.At - ct.twArmedAt
+	slack := time.Duration(k.cfg.SlackTicks) * k.cfg.Tick
+	lo := time.Duration(ct.twTicks-1)*k.cfg.Tick - slack
+	hi := time.Duration(ct.twTicks)*k.cfg.Tick + slack
+	if elapsed < lo || elapsed > hi {
+		k.report(e.Conn, e.At, RuleTimeWait,
+			fmt.Sprintf("TIME_WAIT lasted %v since last 2*MSL arm; armed for %d ticks (want (%v, %v])",
+				elapsed, ct.twTicks, lo, hi), nil)
+	}
+	ct.twArmed = false
+}
+
+func (k *Checker) onTimeWaitArm(e trace.Event) {
+	ct := k.conn(e.Conn)
+	if ct.seen && ct.state != tcp.TimeWait {
+		k.report(e.Conn, e.At, RuleTimeWaitArm,
+			fmt.Sprintf("2*MSL timer armed in %s", ct.state), nil)
+	}
+	if !ct.seen {
+		ct.seen = true
+		ct.state = tcp.TimeWait
+	}
+	ct.twArmed = true
+	ct.twArmedAt = e.At
+	ct.twTicks = e.A
+}
+
+func (k *Checker) onRexmit(e trace.Event) {
+	ct := k.conn(e.Conn)
+	fast := e.Text == "fast"
+	if ct.seen {
+		if fast && !inSet(fastRexmitStates, ct.state) {
+			k.report(e.Conn, e.At, RuleRexmitState,
+				fmt.Sprintf("fast retransmit in %s", ct.state), nil)
+		} else if !fast && !inSet(rexmitStates, ct.state) {
+			k.report(e.Conn, e.At, RuleRexmitState,
+				fmt.Sprintf("retransmission timeout in %s", ct.state), nil)
+		}
+	}
+	shift, rto := e.A, e.B
+	minShift := int64(1) // a timeout always backs off before re-sending
+	if fast {
+		minShift = 0
+	}
+	if shift < minShift || shift > 12 || rto < 1 || rto > 128 {
+		k.report(e.Conn, e.At, RuleRexmitRange,
+			fmt.Sprintf("shift %d, RTO %d ticks out of range", shift, rto), nil)
+	}
+	ct.sawRexmit = true
+	ct.lastRexmitAt = e.At
+}
+
+func (k *Checker) onRTO(e trace.Event) {
+	ct := k.conn(e.Conn)
+	sample, rto := int(e.A), int(e.B)
+	if ct.seen && !inSet(rtoStates, ct.state) {
+		k.report(e.Conn, e.At, RuleRTOState,
+			fmt.Sprintf("RTT sample taken in %s", ct.state), nil)
+	}
+
+	// Karn's rule: a sample of N ticks means the timed octet was sent N-1
+	// host ticks before the covering ACK — and timing only (re)starts on a
+	// transmission of new data, which cannot predate the last
+	// retransmission (retransmissions zero the measurement).
+	if ct.sawRexmit {
+		minElapsed := time.Duration(sample-1-k.cfg.SlackTicks) * k.cfg.Tick
+		if e.At-ct.lastRexmitAt < minElapsed {
+			k.report(e.Conn, e.At, RuleKarn,
+				fmt.Sprintf("RTT sample of %d ticks taken %v after a retransmission (sample spans it)",
+					sample, e.At-ct.lastRexmitAt), nil)
+		}
+	}
+
+	// Mirror the Jacobson estimator (only from birth, when our state
+	// matches the engine's) and check the published RTO.
+	if ct.birth {
+		m := sample - 1
+		if ct.srtt != 0 {
+			delta := m - (ct.srtt >> 3)
+			ct.srtt += delta
+			if ct.srtt <= 0 {
+				ct.srtt = 1
+			}
+			if delta < 0 {
+				delta = -delta
+			}
+			delta -= ct.rttvar >> 2
+			ct.rttvar += delta
+			if ct.rttvar <= 0 {
+				ct.rttvar = 1
+			}
+		} else {
+			ct.srtt = m << 3
+			ct.rttvar = m << 1
+		}
+		want := (ct.srtt >> 3) + ct.rttvar
+		if want < 2 {
+			want = 2
+		}
+		if want > 128 {
+			want = 128
+		}
+		if rto != want {
+			k.report(e.Conn, e.At, RuleRTOMismatch,
+				fmt.Sprintf("RTO %d ticks after sample %d; Jacobson estimator says %d",
+					rto, sample, want), nil)
+		}
+	}
+}
+
+func (k *Checker) onPersist(e trace.Event) {
+	ct := k.conn(e.Conn)
+	if ct.seen && !inSet(persistStates, ct.state) {
+		k.report(e.Conn, e.At, RulePersistState,
+			fmt.Sprintf("window probe in %s", ct.state), nil)
+	}
+	shift, ticks := e.A, e.B
+	if shift < 1 || shift > 6 || ticks < 1 || ticks > 120 {
+		k.report(e.Conn, e.At, RulePersistRange,
+			fmt.Sprintf("persist shift %d, interval %d ticks out of range", shift, ticks), nil)
+	}
+}
+
+// Segment feeds one transmitted TCP segment directly (already decoded), for
+// harnesses that run the engine without a wire underneath. dataLen is the
+// payload length in bytes.
+func (k *Checker) Segment(at time.Duration, src, dst tcp.Endpoint, h tcp.Header, dataLen int) {
+	k.idx++
+	k.checkSegment(at, src, dst, h.Seq, h.Ack, h.Flags, dataLen)
+}
+
+// checkSegment applies the wire-level flow invariants to one segment.
+func (k *Checker) checkSegment(at time.Duration, src, dst tcp.Endpoint, seq, ack tcp.Seq, flags uint8, dataLen int) {
+	if flags&tcp.FlagRST != 0 {
+		// Resets answering stray segments echo arbitrary sequence numbers
+		// (RFC 793 p.36); they carry no data and terminate the flow, so no
+		// monotonicity claims apply.
+		return
+	}
+	key := flowKey{src, dst}
+	ft := k.flows[key]
+	if ft == nil || flags&tcp.FlagSYN != 0 {
+		// First sighting, or a SYN starting a new incarnation of the
+		// four-tuple: reset the flow bookkeeping.
+		ft = &flowTrack{}
+		k.flows[key] = ft
+	}
+	label := src.String() + ">" + dst.String()
+
+	if flags&tcp.FlagACK != 0 {
+		if ft.hasAck && ack.Less(ft.maxAck) {
+			k.report(label, at, RuleAckRegress,
+				fmt.Sprintf("ACK moved backward: %d after %d", ack, ft.maxAck), nil)
+		}
+		if !ft.hasAck || ft.maxAck.Less(ack) {
+			ft.hasAck = true
+			ft.maxAck = ack
+		}
+	}
+
+	if ft.finSeen {
+		if dataLen > 0 && ft.finSeq.Less(seq.Add(dataLen)) {
+			k.report(label, at, RuleDataAfterFin,
+				fmt.Sprintf("payload [%d,%d) extends beyond FIN at %d",
+					seq, seq.Add(dataLen), ft.finSeq), nil)
+		}
+		if flags&tcp.FlagFIN != 0 && seq.Add(dataLen) != ft.finSeq {
+			k.report(label, at, RuleFinMoved,
+				fmt.Sprintf("FIN re-sent at %d, first seen at %d",
+					seq.Add(dataLen), ft.finSeq), nil)
+		}
+	} else if flags&tcp.FlagFIN != 0 {
+		ft.finSeen = true
+		ft.finSeq = seq.Add(dataLen)
+	}
+}

@@ -1,0 +1,71 @@
+package conform
+
+import (
+	"encoding/binary"
+	"time"
+
+	"ulp/internal/ipv4"
+	"ulp/internal/link"
+	"ulp/internal/tcp"
+)
+
+// onFrame parses a raw transmitted frame and, when it encapsulates an
+// unfragmented IPv4/TCP segment, applies the flow invariants. The parser
+// works on the raw bytes directly — it never touches the packet pool, so
+// attaching the checker cannot perturb pool-leak accounting in tests.
+func (k *Checker) onFrame(at time.Duration, w []byte) {
+	ip, ok := ipPayload(w)
+	if !ok {
+		return
+	}
+	if len(ip) < ipv4.HeaderLen || ip[0]>>4 != 4 {
+		return
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	total := int(binary.BigEndian.Uint16(ip[2:4]))
+	if ihl < ipv4.HeaderLen || total < ihl || total > len(ip) {
+		return
+	}
+	ff := binary.BigEndian.Uint16(ip[6:8])
+	if ff&0x2000 != 0 || ff&0x1fff != 0 {
+		return // fragment: a partial TCP segment proves nothing
+	}
+	if ip[9] != ipv4.ProtoTCP {
+		return
+	}
+	seg := ip[ihl:total]
+	if len(seg) < tcp.HeaderLen {
+		return
+	}
+	off := int(seg[12]>>4) * 4
+	if off < tcp.HeaderLen || off > len(seg) {
+		return
+	}
+	var srcIP, dstIP ipv4.Addr
+	copy(srcIP[:], ip[12:16])
+	copy(dstIP[:], ip[16:20])
+	src := tcp.Endpoint{IP: srcIP, Port: binary.BigEndian.Uint16(seg[0:2])}
+	dst := tcp.Endpoint{IP: dstIP, Port: binary.BigEndian.Uint16(seg[2:4])}
+	seq := tcp.Seq(binary.BigEndian.Uint32(seg[4:8]))
+	ack := tcp.Seq(binary.BigEndian.Uint32(seg[8:12]))
+	flags := seg[13]
+	k.checkSegment(at, src, dst, seq, ack, flags, len(seg)-off)
+}
+
+// ipPayload sniffs the link encapsulation (Ethernet II or AN1) and returns
+// the IPv4 datagram bytes. Both framings carry dst(6) src(6) addresses; the
+// EtherType sits at offset 12 for Ethernet and 16 for AN1 (after the two
+// BQI words), so probing for TypeIPv4 followed by an IPv4 version nibble
+// disambiguates them without out-of-band knowledge of the segment flavor.
+func ipPayload(w []byte) ([]byte, bool) {
+	const t = uint16(link.TypeIPv4)
+	if len(w) >= link.EthHeaderLen+ipv4.HeaderLen &&
+		binary.BigEndian.Uint16(w[12:14]) == t && w[link.EthHeaderLen]>>4 == 4 {
+		return w[link.EthHeaderLen:], true
+	}
+	if len(w) >= link.AN1HeaderLen+ipv4.HeaderLen &&
+		binary.BigEndian.Uint16(w[16:18]) == t && w[link.AN1HeaderLen]>>4 == 4 {
+		return w[link.AN1HeaderLen:], true
+	}
+	return nil, false
+}

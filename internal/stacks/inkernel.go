@@ -143,6 +143,9 @@ func (ik *InKernel) attachEngine(tc *tcp.Conn, kc *ikConn) {
 		inner(err)
 	}
 	tc.SetCallbacks(cb)
+	if bus := ik.nif.Mod.Bus; bus != nil {
+		tc.SetTrace(bus, ik.host.Name+" "+tc.Local().String()+">"+tc.Peer().String())
+	}
 	ik.conns[tc] = kc.Sock
 }
 

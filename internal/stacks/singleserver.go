@@ -121,6 +121,9 @@ func (ss *SingleServer) attach(tc *tcp.Conn, sock *Sock, opts Options, onEst fun
 		innerClosed(err)
 	}
 	tc.SetCallbacks(cb)
+	if bus := ss.nif.Mod.Bus; bus != nil {
+		tc.SetTrace(bus, ss.host.Name+" "+tc.Local().String()+">"+tc.Peer().String())
+	}
 	ss.conns[tc] = sock
 }
 

@@ -38,6 +38,43 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", int(s))
 }
 
+// Trigger classifies what caused a state transition, for the conformance
+// checker (internal/conform): every legal edge of the RFC 793 state machine
+// is legal only for particular trigger classes, and the trace stream carries
+// the class so a checker can verify e.g. that nothing but a timer or a reset
+// ever takes a connection out of TIME_WAIT.
+type Trigger uint8
+
+// Trigger classes.
+const (
+	// TrigUser is an application or shell call: open, close, abort,
+	// registry reclamation.
+	TrigUser Trigger = iota
+	// TrigSegment is an arriving segment processed by Input.
+	TrigSegment
+	// TrigReset is a received RST, or a fatal illegal segment (e.g. a SYN
+	// inside the window) that resets the connection.
+	TrigReset
+	// TrigTimer is a slow-timer expiry: retransmission give-up, keepalive
+	// failure, or the 2*MSL timer.
+	TrigTimer
+)
+
+var triggerNames = [...]string{"user", "segment", "reset", "timer"}
+
+func (tr Trigger) String() string {
+	if int(tr) < len(triggerNames) {
+		return triggerNames[tr]
+	}
+	return fmt.Sprintf("Trigger(%d)", int(tr))
+}
+
+// TestHookSkipTimeWait, when set, makes the engine skip TIME_WAIT and close
+// immediately — a deliberately nonconformant variant used to validate that
+// the conformance explorer (internal/explore) detects and shrinks real
+// protocol bugs. Never set outside tests.
+var TestHookSkipTimeWait bool
+
 // Errors delivered through OnClosed.
 var (
 	ErrReset     = errors.New("tcp: connection reset by peer")
@@ -262,8 +299,9 @@ func (c *Conn) Peer() Endpoint  { return c.peer }
 // EffectiveMSS returns the negotiated maximum segment size.
 func (c *Conn) EffectiveMSS() int { return c.sndMSS }
 
-// setState transitions and fires notifications.
-func (c *Conn) setState(s State) {
+// setState transitions and fires notifications. why classifies the cause of
+// the transition (user call, segment, reset, timer) for the trace stream.
+func (c *Conn) setState(s State, why Trigger) {
 	if c.state == s {
 		return
 	}
@@ -272,7 +310,7 @@ func (c *Conn) setState(s State) {
 	if c.bus.Enabled() {
 		c.bus.Emit(trace.Event{
 			Kind: trace.TCPState, Conn: c.busLabel,
-			A: int64(prev), B: int64(s),
+			A: int64(prev), B: int64(s), C: int64(why),
 			Text: prev.String() + "->" + s.String(),
 		})
 	}
@@ -300,7 +338,7 @@ func (c *Conn) OpenListen() {
 	if c.state != Closed {
 		panic("tcp: OpenListen on non-closed connection")
 	}
-	c.setState(Listen)
+	c.setState(Listen, TrigUser)
 }
 
 // OpenActive starts a connection attempt (active open) with the given
@@ -315,7 +353,7 @@ func (c *Conn) OpenActive(iss Seq) {
 	c.snd.start = iss.Add(1) // first data byte follows the SYN
 	c.cwnd = c.sndMSS
 	c.ssthresh = MaxWindow
-	c.setState(SynSent)
+	c.setState(SynSent, TrigUser)
 	c.startRexmt()
 	c.Output()
 }
@@ -369,7 +407,7 @@ func (c *Conn) Close() {
 		return
 	case Listen, SynSent:
 		c.closedErr = nil
-		c.setState(Closed)
+		c.setState(Closed, TrigUser)
 		return
 	}
 	if c.sndClosed {
@@ -378,9 +416,9 @@ func (c *Conn) Close() {
 	c.sndClosed = true
 	switch c.state {
 	case SynRcvd, Established:
-		c.setState(FinWait1)
+		c.setState(FinWait1, TrigUser)
 	case CloseWait:
-		c.setState(LastAck)
+		c.setState(LastAck, TrigUser)
 	}
 	c.Output()
 }
@@ -393,7 +431,7 @@ func (c *Conn) Abort() {
 		c.sendRST()
 	}
 	c.closedErr = ErrReset
-	c.setState(Closed)
+	c.setState(Closed, TrigUser)
 }
 
 // cancelTimers clears all timers (entering Closed).

@@ -78,7 +78,7 @@ func (c *Conn) Input(h Header, data []byte) {
 		default:
 			c.closedErr = nil
 		}
-		c.setState(Closed)
+		c.setState(Closed, TrigReset)
 		return
 	}
 
@@ -86,7 +86,7 @@ func (c *Conn) Input(h Header, data []byte) {
 	if h.Flags&FlagSYN != 0 && c.rcvNxt.Leq(segSeq) {
 		c.sendRST()
 		c.closedErr = ErrReset
-		c.setState(Closed)
+		c.setState(Closed, TrigReset)
 		return
 	}
 
@@ -142,13 +142,13 @@ func (c *Conn) Input(h Header, data []byte) {
 		c.ackNow = true
 		switch c.state {
 		case SynRcvd, Established:
-			c.setState(CloseWait)
+			c.setState(CloseWait, TrigSegment)
 		case FinWait1:
 			// Our FIN not yet acked (otherwise processAck moved us to
 			// FinWait2): simultaneous close.
-			c.setState(Closing)
+			c.setState(Closing, TrigSegment)
 		case FinWait2:
-			c.enterTimeWait()
+			c.enterTimeWait(TrigSegment)
 		}
 		if c.cb.OnReadable != nil {
 			c.cb.OnReadable() // EOF is readable
@@ -191,7 +191,7 @@ func (c *Conn) inputListen(h Header, data []byte) {
 	c.sndWnd = int(h.Window)
 	c.maxSndWnd = c.sndWnd
 	c.sndWl1, c.sndWl2 = h.Seq, c.iss
-	c.setState(SynRcvd)
+	c.setState(SynRcvd, TrigSegment)
 	c.startRexmt()
 	c.Output() // emits SYN|ACK
 }
@@ -215,7 +215,7 @@ func (c *Conn) inputSynSent(h Header, data []byte) {
 	if h.Flags&FlagRST != 0 {
 		if ackOK {
 			c.closedErr = ErrRefused
-			c.setState(Closed)
+			c.setState(Closed, TrigReset)
 		}
 		return
 	}
@@ -241,9 +241,9 @@ func (c *Conn) inputSynSent(h Header, data []byte) {
 		c.maxSndWnd = c.sndWnd
 		c.sndWl1, c.sndWl2 = h.Seq, h.Ack
 		c.ackNow = true
-		c.setState(Established)
+		c.setState(Established, TrigSegment)
 		if c.sndClosed { // Close raced the handshake
-			c.setState(FinWait1)
+			c.setState(FinWait1, TrigUser)
 		}
 	} else {
 		// Simultaneous open.
@@ -251,7 +251,7 @@ func (c *Conn) inputSynSent(h Header, data []byte) {
 		c.maxSndWnd = c.sndWnd
 		c.sndWl1, c.sndWl2 = h.Seq, c.iss
 		c.ackNow = true
-		c.setState(SynRcvd)
+		c.setState(SynRcvd, TrigSegment)
 	}
 	if len(data) > 0 {
 		c.rcvNxt = c.rcv.insert(c.rcvNxt, h.Seq.Add(1), data)
@@ -266,9 +266,9 @@ func (c *Conn) processAck(h Header) bool {
 	if c.state == SynRcvd {
 		if c.sndUna.Leq(h.Ack) && h.Ack.Leq(c.sndMax) {
 			c.updateSndWnd(h)
-			c.setState(Established)
+			c.setState(Established, TrigSegment)
 			if c.sndClosed && !c.finQueued {
-				c.setState(FinWait1)
+				c.setState(FinWait1, TrigUser)
 			}
 		} else {
 			c.sendRSTFor(h, 0)
@@ -368,12 +368,12 @@ func (c *Conn) processAck(h Header) bool {
 	if finAcked {
 		switch c.state {
 		case FinWait1:
-			c.setState(FinWait2)
+			c.setState(FinWait2, TrigSegment)
 		case Closing:
-			c.enterTimeWait()
+			c.enterTimeWait(TrigSegment)
 		case LastAck:
 			c.closedErr = nil
-			c.setState(Closed)
+			c.setState(Closed, TrigSegment)
 			return false
 		}
 	}
@@ -381,6 +381,7 @@ func (c *Conn) processAck(h Header) bool {
 		// Retransmitted peer FIN: re-ack and restart 2MSL.
 		c.ackNow = true
 		c.setTimer(&c.t2MSL, c.cfg.TimeWaitTicks)
+		c.emitTimeWaitArm()
 	}
 	return true
 }
@@ -437,10 +438,28 @@ func (c *Conn) fastRetransmit() {
 }
 
 // enterTimeWait transitions to TIME_WAIT and starts the 2*MSL timer.
-func (c *Conn) enterTimeWait() {
-	c.setState(TimeWait)
+func (c *Conn) enterTimeWait(why Trigger) {
+	if TestHookSkipTimeWait {
+		// Injected bug for the conformance explorer's self-test: release
+		// the connection without the 2*MSL quiet period.
+		c.closedErr = nil
+		c.setState(Closed, why)
+		return
+	}
+	c.setState(TimeWait, why)
 	c.cancelDataTimers()
 	c.setTimer(&c.t2MSL, c.cfg.TimeWaitTicks)
+	c.emitTimeWaitArm()
+}
+
+// emitTimeWaitArm traces an arming (or re-arming) of the 2*MSL timer, so
+// the conformance checker can verify TIME_WAIT lasts exactly TimeWaitTicks
+// from the most recent arming.
+func (c *Conn) emitTimeWaitArm() {
+	if c.bus.Enabled() {
+		c.bus.Emit(trace.Event{Kind: trace.TCPTimeWait, Conn: c.busLabel,
+			A: int64(c.cfg.TimeWaitTicks)})
+	}
 }
 
 func (c *Conn) cancelDataTimers() {

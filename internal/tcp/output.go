@@ -124,9 +124,13 @@ func (c *Conn) outputOne(force bool) bool {
 
 	if !send {
 		// Nothing to send; if data is pending against a zero window and no
-		// retransmission is outstanding, run the persist machinery.
+		// retransmission is outstanding, run the persist machinery. Any state
+		// that can still emit stream data needs the probe: a close only
+		// queues a FIN behind the buffered data, so FIN_WAIT_1, CLOSING,
+		// CLOSE_WAIT and LAST_ACK would otherwise deadlock against a lost
+		// window update.
 		if c.snd.len()-c.sndNxt.Diff(c.snd.start) > 0 && c.sndWnd == 0 &&
-			c.tRexmt == 0 && c.tPersist == 0 && c.state == Established {
+			c.tRexmt == 0 && c.tPersist == 0 && canSendData(c.state) {
 			c.persistShift = 0
 			c.setTimer(&c.tPersist, c.persistBackoff())
 		}
@@ -213,6 +217,16 @@ func (c *Conn) outputOne(force bool) bool {
 
 	// Another full segment may be waiting.
 	return true
+}
+
+// canSendData reports whether the state may still emit stream data (and
+// therefore needs zero-window probing when data is pending).
+func canSendData(s State) bool {
+	switch s {
+	case Established, FinWait1, CloseWait, Closing, LastAck:
+		return true
+	}
+	return false
 }
 
 // advertisableWindow computes the receive window to advertise, applying

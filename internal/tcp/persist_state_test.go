@@ -1,0 +1,80 @@
+package tcp
+
+import "testing"
+
+// A connection that closes with data still buffered against a zero window
+// must keep probing: the FIN is queued behind the data, so if the peer's
+// window-update ACK is lost and no persist timer runs, FIN_WAIT_1 deadlocks
+// forever. This pins the fix that extended persist arming from ESTABLISHED
+// to every state that can still emit stream data (found by the conformance
+// explorer's zero-window schedules).
+func TestPersistProbesAfterCloseInFinWait1(t *testing.T) {
+	cfg := Config{MSS: 512, RcvBufSize: 1024, NoDelayedAck: true}
+	n := newTestNet(t, cfg)
+	n.connect()
+
+	// Fill the peer's receive buffer without reading, then close with data
+	// still queued. The final ACK (window 0) arrives after the close, so the
+	// persist timer is armed in FIN_WAIT_1, not ESTABLISHED.
+	data := pattern(4096)
+	written := n.a.Write(data)
+	if written != len(data) {
+		t.Fatalf("write: %d/%d accepted", written, len(data))
+	}
+	n.a.Close()
+	if n.a.State() != FinWait1 {
+		t.Fatalf("state after close: %v", n.a.State())
+	}
+	n.deliver()
+
+	// The window is now closed and everything sent has been acked: the only
+	// thing that can restart the transfer is a persist probe.
+	if n.a.Stats().BytesSent >= int64(len(data)) {
+		t.Fatalf("peer window never closed (sent %d)", n.a.Stats().BytesSent)
+	}
+
+	// Drain the peer — and lose the window-update ACK its read generates.
+	drops := 0
+	n.drop = func(dir string, h Header, pl int) bool {
+		if dir == "b->a" && drops == 0 {
+			drops++
+			return true
+		}
+		return false
+	}
+	buf := make([]byte, 4096)
+	var got []byte
+	for {
+		r := n.b.Read(buf)
+		if r == 0 {
+			break
+		}
+		got = append(got, buf[:r]...)
+	}
+	if drops != 1 {
+		t.Fatalf("window update not dropped (drops=%d)", drops)
+	}
+
+	// Only the persist machinery can discover the reopened window now.
+	for u := 0; u < 2000 && !n.b.EOF(); u++ {
+		n.tick()
+		for {
+			r := n.b.Read(buf)
+			if r == 0 {
+				break
+			}
+			got = append(got, buf[:r]...)
+		}
+	}
+	if !n.b.EOF() {
+		t.Fatalf("transfer deadlocked in %v: read %d/%d, probes=%d",
+			n.a.State(), len(got), len(data), n.a.Stats().WindowProbes)
+	}
+	checkIntegrity(t, data, got)
+	if n.a.Stats().WindowProbes == 0 {
+		t.Error("no window probes sent: transfer resumed some other way")
+	}
+	if n.a.State() != FinWait2 {
+		t.Errorf("a state = %v, want FIN_WAIT_2 (FIN acked, peer not closed)", n.a.State())
+	}
+}

@@ -115,7 +115,7 @@ func (c *Conn) SlowTick() {
 	}
 	if dec(&c.t2MSL) {
 		c.closedErr = nil
-		c.setState(Closed)
+		c.setState(Closed, TrigTimer)
 	}
 }
 
@@ -137,7 +137,7 @@ func (c *Conn) rexmtTimeout() {
 		if c.state == SynSent || c.state == SynRcvd {
 			c.closedErr = ErrRefused
 		}
-		c.setState(Closed)
+		c.setState(Closed, TrigTimer)
 		return
 	}
 	c.stats.Rexmits++
@@ -214,7 +214,7 @@ func (c *Conn) keepTimeout() {
 	c.keepProbes++
 	if c.keepProbes > keepMaxProbes {
 		c.closedErr = ErrKeepalive
-		c.setState(Closed)
+		c.setState(Closed, TrigTimer)
 		return
 	}
 	c.stats.KeepProbes++

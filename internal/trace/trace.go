@@ -35,10 +35,11 @@ const (
 	FrameCorrupt // fault injection flipped a bit; A = corrupted byte offset
 
 	// TCP engine events. Conn labels the connection.
-	TCPState   // state transition; Text = "OLD->NEW", A/B = old/new state ordinals
-	TCPRexmit  // retransmission; Text = "timeout" or "fast", A = backoff shift, B = RTO ticks
-	TCPRTO     // RTO updated from an RTT sample; A = sample ticks, B = new RTO ticks
-	TCPPersist // zero-window probe sent; A = persist shift, B = interval ticks
+	TCPState    // state transition; Text = "OLD->NEW", A/B = old/new state ordinals, C = trigger class
+	TCPRexmit   // retransmission; Text = "timeout" or "fast", A = backoff shift, B = RTO ticks
+	TCPRTO      // RTO updated from an RTT sample; A = sample ticks, B = new RTO ticks
+	TCPPersist  // zero-window probe sent; A = persist shift, B = interval ticks
+	TCPTimeWait // 2*MSL timer armed or re-armed; A = ticks until release
 
 	// Network I/O module demultiplex and protection events.
 	DemuxHit     // frame matched a channel binding; A = capability id
@@ -74,6 +75,7 @@ var kindNames = [...]string{
 	TCPRexmit:    "tcp-rexmit",
 	TCPRTO:       "tcp-rto",
 	TCPPersist:   "tcp-persist",
+	TCPTimeWait:  "tcp-timewait",
 	DemuxHit:     "demux-hit",
 	DemuxMiss:    "demux-miss",
 	VerifyReject: "verify-reject",
@@ -104,10 +106,10 @@ func (k Kind) String() string {
 type Event struct {
 	At   time.Duration // virtual time the event was emitted
 	Kind Kind
-	Node string // producing host, device, or segment ("" when not applicable)
-	Conn string // connection / channel / domain label ("" when not applicable)
-	A, B int64  // kind-specific numeric payload
-	Text string // kind-specific detail (state names, drop reason, RPC op)
+	Node    string // producing host, device, or segment ("" when not applicable)
+	Conn    string // connection / channel / domain label ("" when not applicable)
+	A, B, C int64  // kind-specific numeric payload
+	Text    string // kind-specific detail (state names, drop reason, RPC op)
 
 	// Frame holds raw frame bytes for Frame* events. Read-only,
 	// callback-lifetime only.

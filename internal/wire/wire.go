@@ -82,10 +82,33 @@ type Faults struct {
 	// overtake it.
 	ReorderProb  float64
 	ReorderDelay time.Duration
+
+	// DropFrames and CorruptFrames schedule faults at exact frames,
+	// identified by 0-based transmit order on the segment (the order of
+	// Transmit calls, which is deterministic under the simulator). They
+	// need no seed, draw nothing from the RNG, and compose with the
+	// probabilistic faults: the fault-schedule explorer uses them to
+	// place a loss at precisely the retransmission or handshake step it
+	// wants to test.
+	DropFrames    []int
+	CorruptFrames []int
 }
 
 func (f Faults) active() bool {
 	return f.LossProb > 0 || f.DupProb > 0 || f.CorruptProb > 0 || f.ReorderProb > 0
+}
+
+func (f Faults) scheduled() bool {
+	return len(f.DropFrames) > 0 || len(f.CorruptFrames) > 0
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // Station is a device attached to a segment.
@@ -196,7 +219,7 @@ func (g *Segment) Transmit(src, dst link.Addr, b *pkt.Buf) {
 	}
 	tx := g.TxTime(b.Len())
 	f := inflightPool.Get().(*inflight)
-	*f = inflight{g: g, src: src, dst: dst, b: b}
+	*f = inflight{g: g, src: src, dst: dst, b: b, idx: g.framesSent - 1}
 	res.UseAsyncArg(tx, propagateCB, f)
 }
 
@@ -207,6 +230,7 @@ type inflight struct {
 	g        *Segment
 	src, dst link.Addr
 	b        *pkt.Buf
+	idx      int // 0-based transmit-order index (for scheduled faults)
 }
 
 var inflightPool = sync.Pool{New: func() any { return new(inflight) }}
@@ -233,6 +257,26 @@ func deliverCB(a any) {
 func (g *Segment) propagate(f *inflight) {
 	b := f.b
 	delay := g.cfg.Propagation
+	// Scheduled (per-frame-index) faults never touch the RNG, and a
+	// scheduled drop is applied *after* the probabilistic block (which
+	// consumes this frame's usual draws), so adding a schedule to a seeded
+	// plan leaves every other frame's probabilistic fate intact — crucial
+	// for the explorer, whose shrinking loop adds and removes schedule
+	// entries against a fixed chaos seed.
+	schedDrop := false
+	if g.faults.scheduled() {
+		schedDrop = containsInt(g.faults.DropFrames, f.idx)
+		if !schedDrop && containsInt(g.faults.CorruptFrames, f.idx) && b.Len() > 0 {
+			g.framesCorrupted++
+			off := b.Len() / 2 // deterministic: flip the low bit mid-frame
+			b.Bytes()[off] ^= 1
+			b.Meta.Corrupt = true
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameCorrupt, Node: g.cfg.Name,
+					A: int64(off), B: int64(f.idx), Text: "sched-corrupt", Frame: b.Bytes()})
+			}
+		}
+	}
 	if g.faults.active() {
 		if g.rng.Float64() < g.faults.LossProb {
 			g.framesDropped++
@@ -267,6 +311,16 @@ func (g *Segment) propagate(f *inflight) {
 		if g.rng.Float64() < g.faults.ReorderProb {
 			delay += g.faults.ReorderDelay
 		}
+	}
+	if schedDrop {
+		g.framesDropped++
+		if g.Bus.Enabled() {
+			g.Bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: g.cfg.Name,
+				A: int64(b.Len()), B: int64(f.idx), Text: "sched-drop", Frame: b.Bytes()})
+		}
+		f.put()
+		b.Release()
+		return
 	}
 	g.s.AfterArg(delay, deliverCB, f)
 }

@@ -196,3 +196,84 @@ func TestTxTime(t *testing.T) {
 		t.Fatalf("TxTime(1500) = %v", got)
 	}
 }
+
+func TestScheduledDrop(t *testing.T) {
+	s, g, a, b := setup(EthernetConfig())
+	g.SetFaults(Faults{DropFrames: []int{1, 3}})
+	const n = 5
+	for i := 0; i < n; i++ {
+		g.Transmit(a.addr, b.addr, pkt.FromBytes(0, []byte{byte(i)}))
+	}
+	s.Run(0)
+	if len(b.got) != n-2 {
+		t.Fatalf("delivered %d frames, want %d", len(b.got), n-2)
+	}
+	// Transmit-order indices 1 and 3 are gone; payloads identify frames.
+	for i, want := range []byte{0, 2, 4} {
+		if got := b.got[i].Bytes()[0]; got != want {
+			t.Errorf("delivery %d carries payload %d, want %d", i, got, want)
+		}
+	}
+	_, dropped, _, _, _ := g.Stats()
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestScheduledCorrupt(t *testing.T) {
+	s, g, a, b := setup(EthernetConfig())
+	g.SetFaults(Faults{CorruptFrames: []int{0}})
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 32)))
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 32)))
+	s.Run(0)
+	if len(b.got) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(b.got))
+	}
+	if !b.got[0].Meta.Corrupt || b.got[1].Meta.Corrupt {
+		t.Fatalf("corruption flags = %v,%v; want frame 0 only",
+			b.got[0].Meta.Corrupt, b.got[1].Meta.Corrupt)
+	}
+	if b.got[0].Bytes()[16] != 1 {
+		t.Errorf("expected deterministic low-bit flip at mid-frame byte")
+	}
+}
+
+// TestScheduledFaultsPreserveRNGSequence checks that adding a frame-index
+// schedule to a seeded probabilistic plan does not shift the plan's random
+// draws for the frames the schedule does not touch.
+func TestScheduledFaultsPreserveRNGSequence(t *testing.T) {
+	run := func(sched []int) (survivors []byte) {
+		s, g, a, b := setup(EthernetConfig())
+		g.SetFaults(Faults{Seed: 42, LossProb: 0.3, DropFrames: sched})
+		for i := 0; i < 50; i++ {
+			g.Transmit(a.addr, b.addr, pkt.FromBytes(0, []byte{byte(i)}))
+		}
+		s.Run(0)
+		for _, f := range b.got {
+			survivors = append(survivors, f.Bytes()[0])
+		}
+		return
+	}
+	plain := run(nil)
+	if len(plain) < 2 || len(plain) == 50 {
+		t.Fatalf("seeded loss dropped %d of 50; bad baseline", 50-len(plain))
+	}
+	// Schedule a drop of one frame the probabilistic plan let through: the
+	// result must be exactly the baseline minus that frame.
+	victim := plain[len(plain)/2]
+	with := run([]int{int(victim)})
+	if len(with) != len(plain)-1 {
+		t.Fatalf("scheduled drop changed survivor count to %d, want %d",
+			len(with), len(plain)-1)
+	}
+	j := 0
+	for _, p := range plain {
+		if p == victim {
+			continue
+		}
+		if with[j] != p {
+			t.Fatalf("survivor %d differs: %d vs %d (RNG sequence shifted)", j, with[j], p)
+		}
+		j++
+	}
+}

@@ -45,6 +45,7 @@ import (
 
 	"ulp/internal/chaos"
 	"ulp/internal/checksum"
+	"ulp/internal/conform"
 	"ulp/internal/core"
 	"ulp/internal/costs"
 	"ulp/internal/ipv4"
@@ -268,6 +269,20 @@ func (w *World) EnableTrace() *trace.Bus {
 
 // Bus returns the world's trace bus, or nil if EnableTrace was never called.
 func (w *World) Bus() *trace.Bus { return w.bus }
+
+// EnableConformance attaches an RFC 793 conformance checker to the world's
+// trace bus (enabling tracing first if needed) and returns it. Every TCP
+// state transition, retransmission, RTO update and persist event on any host
+// is checked live against the legal transition relation and timer rules;
+// call Violations on the returned checker after the run. Like tracing, the
+// checker is a pure observer: a checked run is bit-identical to an unchecked
+// one.
+func (w *World) EnableConformance() *conform.Checker {
+	bus := w.EnableTrace()
+	ck := conform.New(conform.Config{})
+	ck.Attach(bus)
+	return ck
+}
 
 // StatsRegistry builds a stats registry over every layer's counters. The
 // returned registry polls live state: snapshot it whenever a breakdown is
