@@ -45,6 +45,12 @@ type Library struct {
 	conns map[*Conn]struct{}
 	ids   ipv4.IDGen
 
+	// wheel, when non-nil, replaces the per-tick scan of every connection
+	// with timing-wheel timers: connections are touched only when a timer
+	// actually fires. Enabled before any connection exists (many-host
+	// worlds); nil keeps the classic per-tick loops.
+	wheel *stacks.TCPWheel
+
 	// backoff drives control-plane retry delays (capped exponential with
 	// seeded jitter, shared schedule with the reconnect path).
 	backoff *stacks.Backoff
@@ -152,9 +158,20 @@ type Conn struct {
 	peerHW  link.Addr
 	peerBQI uint16
 
+	went *stacks.WheelEnt // timing-wheel registration (nil in tick mode)
+
 	cur  *kern.Thread
 	lock *sim.Semaphore
 	done bool
+}
+
+// EnableTimerWheel switches the library's timer backend from per-tick
+// scans to timing wheels. Must be called before the first connection is
+// adopted.
+func (l *Library) EnableTimerWheel() {
+	if l.wheel == nil {
+		l.wheel = stacks.NewTCPWheel()
+	}
 }
 
 // Connect implements the stacks.Stack interface: active open via the
@@ -251,6 +268,13 @@ func (l *Library) adopt(t *kern.Thread, ho registry.Handoff, opts stacks.Options
 	sock.MarkEstablished()
 
 	l.conns[c] = struct{}{}
+	if l.wheel != nil {
+		c.went = l.wheel.Add(tc, c)
+		// An empty engine pass syncs the restored counters (the handshake
+		// may have left the keepalive or retransmit timer armed) onto the
+		// wheel.
+		c.runEngine(t, func() {})
+	}
 	l.app.Spawn("conn-input", c.inputThread)
 	return c
 }
@@ -365,6 +389,7 @@ func (c *Conn) fail(err error) {
 	c.done = true
 	c.ch.Poke()
 	delete(c.lib.conns, c)
+	c.lib.wheel.Drop(c.went)
 	c.tc.SetCallbacks(tcp.Callbacks{})
 	c.sock.Fail(err)
 }
@@ -439,7 +464,15 @@ func (c *Conn) inputFrame(t *kern.Thread, b *pkt.Buf) {
 func (c *Conn) runEngine(t *kern.Thread, fn func()) {
 	c.lock.P(t.Proc)
 	c.cur = t
-	fn()
+	if c.went != nil {
+		// Catch the tick counters up to the wheel clock before the engine
+		// reads them, and put whatever fn arms onto the wheel afterwards.
+		c.lib.wheel.Sync(c.went)
+		fn()
+		c.lib.wheel.Sync(c.went)
+	} else {
+		fn()
+	}
 	c.cur = nil
 	c.lock.V()
 }
@@ -449,6 +482,7 @@ func (c *Conn) teardown() {
 	c.done = true
 	c.ch.Poke()
 	delete(c.lib.conns, c)
+	c.lib.wheel.Drop(c.went)
 	c.lib.reg.Svc.SendAsync(kern.Msg{Op: "teardown", ID: c.lib.nextReqID(),
 		Body: registry.TeardownReq{
 			Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
@@ -490,10 +524,11 @@ func (c *Conn) Channel() *netio.Channel { return c.ch }
 // the registry resets the peers; otherwise it shepherds the orderly-close
 // states (including TIME_WAIT) on the application's behalf.
 func (l *Library) Exit(t *kern.Thread, abnormal bool) {
-	for c := range l.conns {
+	for _, c := range l.sortedConns() {
 		c.done = true
 		c.ch.Poke()
 		delete(l.conns, c)
+		l.wheel.Drop(c.went)
 		snap := c.tc.Snapshot()
 		c.tc.SetCallbacks(tcp.Callbacks{}) // detach: the registry owns it now
 		l.reg.Svc.Send(t, kern.Msg{
@@ -508,12 +543,23 @@ func (l *Library) Exit(t *kern.Thread, abnormal bool) {
 	}
 }
 
-// fastTimer drives delayed ACKs for all library connections.
+// fastTimer drives delayed ACKs for all library connections. In wheel
+// mode only connections with a pending delayed ACK are touched; the
+// classic mode walks every connection (in deterministic port order — raw
+// map ranging would let two connections swap their tick-driven
+// transmissions between runs).
 func (l *Library) fastTimer(t *kern.Thread) {
 	cost := &l.host.Cost
 	for {
 		t.Sleep(200 * time.Millisecond)
-		for c := range l.conns {
+		if l.wheel != nil {
+			l.wheel.AdvanceFast(func(e *stacks.WheelEnt, fn func()) {
+				t.Compute(cost.TimerOp)
+				e.Owner.(*Conn).runWheelFire(t, fn)
+			})
+			continue
+		}
+		for _, c := range l.sortedConns() {
 			t.Compute(cost.TimerOp)
 			c.runEngine(t, func() { c.tc.FastTick() })
 		}
@@ -525,9 +571,28 @@ func (l *Library) slowTimer(t *kern.Thread) {
 	cost := &l.host.Cost
 	for {
 		t.Sleep(500 * time.Millisecond)
-		for c := range l.conns {
+		if l.wheel != nil {
+			l.wheel.AdvanceSlow(func(e *stacks.WheelEnt, fn func()) {
+				t.Compute(cost.TimerOp)
+				e.Owner.(*Conn).runWheelFire(t, fn)
+			})
+			continue
+		}
+		for _, c := range l.sortedConns() {
 			t.Compute(cost.TimerOp)
 			c.runEngine(t, func() { c.tc.SlowTick() })
 		}
 	}
+}
+
+// runWheelFire runs a wheel-fire callback under the engine lock. The fire
+// fn does its own Sync, so this bypasses runEngine's Sync-wrapping (which
+// would double-fire the due counter before fn observes it — harmless but
+// wasteful).
+func (c *Conn) runWheelFire(t *kern.Thread, fn func()) {
+	c.lock.P(t.Proc)
+	c.cur = t
+	fn()
+	c.cur = nil
+	c.lock.V()
 }

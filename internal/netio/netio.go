@@ -45,6 +45,11 @@ var (
 	// control plane that should be renewing it is dead. The endpoint is
 	// quarantined, not revoked: a restarted registry can re-adopt it.
 	ErrLeaseExpired = errors.New("netio: capability lease expired (control plane down)")
+	// ErrBQIExhausted reports that the AN1's buffer queue index space is
+	// used up (the hardware table is finite; indices are recycled on
+	// channel destruction, so only a genuinely huge live population hits
+	// this).
+	ErrBQIExhausted = errors.New("netio: buffer queue indices exhausted")
 )
 
 // Template constrains the headers of packets sent with a capability. Zero
@@ -150,6 +155,7 @@ type Channel struct {
 	bqi     uint16 // nonzero on AN1
 	noBatch bool
 	mod     *Module
+	bd      *binding // software demux entry (nil on AN1 / raw kernel)
 
 	// overflowed marks that the ring is currently in an overflow episode,
 	// so repeated drops within one burst are one episode.
@@ -284,10 +290,90 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 	}
 }
 
-// binding is one software demux entry.
+// Placement of a software demux entry: hash-steered (exact or
+// wildcard-remote key) or on the linear fallback chain.
+const (
+	placeChain = iota
+	placeSteer
+	placeSteerWild
+)
+
+// binding is one software demux entry. Indexable endpoint predicates live
+// in a steering table keyed by the packet's five-tuple; everything else
+// (raw EtherType channels, partially wildcarded specs) stays on a linear
+// chain. where/key let DestroyChannel remove the entry without scanning.
 type binding struct {
 	match func([]byte) bool
 	ch    *Channel
+	where int
+	key   steerKey
+}
+
+// steerKey is the exact-match steering index: the fields Spec.Match tests
+// against an inbound IPv4 frame. The wildcard (listener) form zeroes the
+// remote half.
+type steerKey struct {
+	proto      uint8
+	localIP    ipv4.Addr
+	localPort  uint16
+	remoteIP   ipv4.Addr
+	remotePort uint16
+}
+
+// steerKeys extracts the steering keys from an inbound frame: the fully
+// specified key and its listener form (remote half zeroed). ok is false
+// when the frame cannot hit any steered binding — short, non-IPv4, or a
+// non-first fragment (no transport header) — in which case only the chain
+// can match, mirroring Spec.Match's reject conditions exactly.
+func steerKeys(hdrLen int, frame []byte) (full, wild steerKey, ok bool) {
+	if len(frame) < hdrLen+20 {
+		return
+	}
+	if uint16(frame[hdrLen-2])<<8|uint16(frame[hdrLen-1]) != 0x0800 {
+		return
+	}
+	ip := frame[hdrLen:]
+	if ip[0]>>4 != 4 {
+		return
+	}
+	if (uint16(ip[6])<<8|uint16(ip[7]))&0x1fff != 0 {
+		return // non-first fragment
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl+4 {
+		return
+	}
+	full = steerKey{
+		proto:      ip[9],
+		localIP:    ipv4.Addr(ip[16:20]),
+		localPort:  uint16(ip[ihl+2])<<8 | uint16(ip[ihl+3]),
+		remoteIP:   ipv4.Addr(ip[12:16]),
+		remotePort: uint16(ip[ihl])<<8 | uint16(ip[ihl+1]),
+	}
+	wild = full
+	wild.remoteIP = ipv4.Addr{}
+	wild.remotePort = 0
+	return full, wild, true
+}
+
+// steerable classifies a Spec: a fully specified five-tuple steers on the
+// exact table, a fully wildcarded remote steers on the listener table, and
+// anything else (no transport predicate, or a half-wildcarded remote,
+// which the hash key cannot express) falls back to the chain.
+func steerable(s *filter.Spec) (key steerKey, where int) {
+	if s == nil || s.Proto == 0 || s.LocalPort == 0 || s.LocalIP == ([4]byte{}) {
+		return steerKey{}, placeChain
+	}
+	key = steerKey{proto: s.Proto, localIP: s.LocalIP, localPort: s.LocalPort}
+	if s.RemoteIP == ([4]byte{}) && s.RemotePort == 0 {
+		return key, placeSteerWild
+	}
+	if s.RemoteIP != ([4]byte{}) && s.RemotePort != 0 {
+		key.remoteIP = s.RemoteIP
+		key.remotePort = s.RemotePort
+		return key, placeSteer
+	}
+	return steerKey{}, placeChain
 }
 
 // Module is one device's network I/O module.
@@ -297,8 +383,18 @@ type Module struct {
 
 	nextCapID uint64
 	nextBQI   uint16
+	freeBQI   []uint16 // recycled ring indices, reused LIFO
 	caps      map[uint64]*Capability
-	bindings  []*binding
+
+	// Software demux is split two ways: steer holds fully specified
+	// five-tuple endpoints, steerWild holds listener endpoints (remote
+	// wildcarded), and chain is the linear fallback for everything the
+	// hash key cannot express. An inbound frame consults steer, then
+	// steerWild, then the chain — so a steered entry always beats a chain
+	// entry that would also match.
+	steer     map[steerKey]*binding
+	steerWild map[steerKey]*binding
+	chain     []*binding
 
 	defaultRx netdev.RxHandler
 
@@ -350,6 +446,8 @@ func New(h *kern.Host, dev netdev.Device) *Module {
 		nextCapID: 1,
 		nextBQI:   1,
 		caps:      make(map[uint64]*Capability),
+		steer:     make(map[steerKey]*binding),
+		steerWild: make(map[steerKey]*binding),
 	}
 	dev.SetRxHandler(m.rxSoftware)
 	return m
@@ -369,22 +467,18 @@ func (m *Module) rxSoftware(b *pkt.Buf) {
 	c := &m.host.Cost
 	if _, isAN1 := m.dev.(*netdev.AN1); !isAN1 {
 		// Software demultiplexing: one run of the synthesized native
-		// predicate chain over the headers.
+		// predicate over the headers. The charged cost is fixed per frame
+		// regardless of how the match is found — the steering tables are a
+		// wall-clock optimization and must not perturb virtual time.
 		m.host.CPU.UseAsync(c.LanceDemuxFixed+c.FilterDemux, nil)
 		frame := b.Bytes()
-		for _, bd := range m.bindings {
+		if bd := m.steerLookup(frame); bd != nil {
+			m.deliverMatched(bd, b)
+			return
+		}
+		for _, bd := range m.chain {
 			if bd.match(frame) {
-				m.DemuxMatched++
-				if m.Bus.Enabled() {
-					m.Bus.Emit(trace.Event{Kind: trace.DemuxHit, Node: m.dev.Name(),
-						A: int64(bd.ch.id), B: int64(b.Len())})
-				}
-				// The packet was staged into kernel memory by the PIO
-				// copy; moving it into the channel's shared region is a
-				// second copy on this interface.
-				m.CopiedBytes += int64(b.Len())
-				m.host.CPU.UseAsync(c.Copy(b.Len()), nil)
-				bd.ch.deliver(b)
+				m.deliverMatched(bd, b)
 				return
 			}
 		}
@@ -398,6 +492,38 @@ func (m *Module) rxSoftware(b *pkt.Buf) {
 	} else {
 		b.Release()
 	}
+}
+
+// steerLookup finds the software binding for a frame in O(1): exact
+// five-tuple first, then the listener (wildcard-remote) form. A frame that
+// cannot carry a steerable key (non-IPv4, fragment) returns nil and falls
+// through to the chain.
+func (m *Module) steerLookup(frame []byte) *binding {
+	if len(m.steer) == 0 && len(m.steerWild) == 0 {
+		return nil
+	}
+	full, wild, ok := steerKeys(m.dev.HdrLen(), frame)
+	if !ok {
+		return nil
+	}
+	if bd := m.steer[full]; bd != nil {
+		return bd
+	}
+	return m.steerWild[wild]
+}
+
+// deliverMatched accounts and completes a software demux hit: the packet
+// was staged into kernel memory by the PIO copy; moving it into the
+// channel's shared region is a second copy on this interface.
+func (m *Module) deliverMatched(bd *binding, b *pkt.Buf) {
+	m.DemuxMatched++
+	if m.Bus.Enabled() {
+		m.Bus.Emit(trace.Event{Kind: trace.DemuxHit, Node: m.dev.Name(),
+			A: int64(bd.ch.id), B: int64(b.Len())})
+	}
+	m.CopiedBytes += int64(b.Len())
+	m.host.CPU.UseAsync(m.host.Cost.Copy(b.Len()), nil)
+	bd.ch.deliver(b)
 }
 
 // ReserveBQI allocates a buffer queue index ahead of channel creation, so
@@ -416,9 +542,39 @@ func (m *Module) ReserveBQI(from *kern.Domain) (uint16, error) {
 	if _, ok := m.dev.(*netdev.AN1); !ok {
 		return 0, nil // no hardware demultiplexing on this device
 	}
+	return m.allocBQI()
+}
+
+// allocBQI hands out a ring index, preferring recycled ones (LIFO keeps
+// the hardware table dense under churn). Index 0 is the kernel ring and
+// never allocated; the 16-bit space is a hardware limit, so running out is
+// an error, not a wrap.
+func (m *Module) allocBQI() (uint16, error) {
+	if n := len(m.freeBQI); n > 0 {
+		bqi := m.freeBQI[n-1]
+		m.freeBQI = m.freeBQI[:n-1]
+		return bqi, nil
+	}
+	if m.nextBQI == 0xFFFF {
+		return 0, ErrBQIExhausted
+	}
 	bqi := m.nextBQI
 	m.nextBQI++
 	return bqi, nil
+}
+
+// ReleaseBQI returns a reserved-but-never-used ring index to the free
+// list. Setup paths that reserve ahead of channel creation must call this
+// on their failure paths, or churn leaks the index space. Indices consumed
+// by a channel are recycled by DestroyChannel instead.
+func (m *Module) ReleaseBQI(from *kern.Domain, bqi uint16) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: BQI release from unprivileged domain %s", from)
+	}
+	if bqi != 0 {
+		m.freeBQI = append(m.freeBQI, bqi)
+	}
+	return nil
 }
 
 // CreateChannel builds the shared region, ring, capability and demux
@@ -432,7 +588,7 @@ func (m *Module) CreateChannel(from *kern.Domain, spec filter.Spec, tmpl Templat
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(spec.Compile(), tmpl, ringSize, 0)
+	return m.createChannel(&spec, spec.Compile(), tmpl, ringSize, 0)
 }
 
 // CreateChannelBQI is CreateChannel with a previously reserved BQI.
@@ -440,7 +596,7 @@ func (m *Module) CreateChannelBQI(from *kern.Domain, spec filter.Spec, tmpl Temp
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(spec.Compile(), tmpl, ringSize, bqi)
+	return m.createChannel(&spec, spec.Compile(), tmpl, ringSize, bqi)
 }
 
 // CreateRawChannel builds a channel demultiplexed by EtherType alone, for
@@ -458,10 +614,15 @@ func (m *Module) CreateRawChannel(from *kern.Domain, et link.EtherType, tmpl Tem
 		}
 		return link.EtherType(uint16(frame[hdrLen-2])<<8|uint16(frame[hdrLen-1])) == et
 	}
-	return m.createChannel(match, tmpl, ringSize, 0)
+	return m.createChannel(nil, match, tmpl, ringSize, 0)
 }
 
-func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
+// createChannel installs the channel. spec, when non-nil, describes the
+// endpoint predicate structurally so software demux can steer it by hash
+// key; match is the compiled predicate used when it cannot (raw channels,
+// partial wildcards, or a key collision — the colliding entry chains
+// behind the steered one, preserving first-installed-wins order).
+func (m *Module) createChannel(spec *filter.Spec, match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
 	if m.FailSetup != nil {
 		if err := m.FailSetup("create"); err != nil {
 			return nil, nil, err
@@ -488,8 +649,13 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 		// a fresh) BQI.
 		ch.bqi = reservedBQI
 		if ch.bqi == 0 {
-			ch.bqi = m.nextBQI
-			m.nextBQI++
+			bqi, err := m.allocBQI()
+			if err != nil {
+				delete(m.caps, cap.id)
+				ch.Region.Unpin()
+				return nil, nil, err
+			}
+			ch.bqi = bqi
 		}
 		an1.InstallRing(ch.bqi, ringSize, func(b *pkt.Buf) {
 			m.DemuxMatched++
@@ -500,7 +666,26 @@ func (m *Module) createChannel(match func([]byte) bool, tmpl Template, ringSize 
 			ch.deliver(b)
 		})
 	} else {
-		m.bindings = append(m.bindings, &binding{match: match, ch: ch})
+		bd := &binding{match: match, ch: ch}
+		bd.key, bd.where = steerable(spec)
+		switch bd.where {
+		case placeSteer:
+			if m.steer[bd.key] != nil {
+				bd.where = placeChain // duplicate key: first install wins
+			} else {
+				m.steer[bd.key] = bd
+			}
+		case placeSteerWild:
+			if m.steerWild[bd.key] != nil {
+				bd.where = placeChain
+			} else {
+				m.steerWild[bd.key] = bd
+			}
+		}
+		if bd.where == placeChain {
+			m.chain = append(m.chain, bd)
+		}
+		ch.bd = bd
 	}
 	if m.leases != nil {
 		m.leases.Grant(cap.id)
@@ -526,12 +711,23 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 		if an1, ok := m.dev.(*netdev.AN1); ok {
 			an1.RemoveRing(cap.ch.bqi)
 		}
+		m.freeBQI = append(m.freeBQI, cap.ch.bqi)
 	}
-	for i, bd := range m.bindings {
-		if bd.ch == cap.ch {
-			m.bindings = append(m.bindings[:i], m.bindings[i+1:]...)
-			break
+	if bd := cap.ch.bd; bd != nil {
+		switch bd.where {
+		case placeSteer:
+			delete(m.steer, bd.key)
+		case placeSteerWild:
+			delete(m.steerWild, bd.key)
+		default:
+			for i, cbd := range m.chain {
+				if cbd == bd {
+					m.chain = append(m.chain[:i], m.chain[i+1:]...)
+					break
+				}
+			}
 		}
+		cap.ch.bd = nil
 	}
 	// Packets still queued in the ring die with the channel: nobody will
 	// ever Wait on it again, so they must be returned to the pool here or
@@ -701,8 +897,18 @@ func (m *Module) PinnedRegions() int {
 	return n
 }
 
-// SoftwareBindings counts installed software demux entries (diagnostics).
-func (m *Module) SoftwareBindings() int { return len(m.bindings) }
+// SoftwareBindings counts installed software demux entries across the
+// steering tables and the fallback chain (diagnostics).
+func (m *Module) SoftwareBindings() int {
+	return len(m.steer) + len(m.steerWild) + len(m.chain)
+}
+
+// SteeredBindings reports how many software demux entries are hash-steered
+// vs on the linear fallback chain (diagnostics; scaling benchmarks assert
+// the chain stays empty for endpoint-shaped specs).
+func (m *Module) SteeredBindings() (steered, chained int) {
+	return len(m.steer) + len(m.steerWild), len(m.chain)
+}
 
 // UpdateTemplate amends a capability's template (the registry narrows it
 // once the remote endpoint and link address are known).

@@ -27,7 +27,7 @@ type world struct {
 	addr2  link.Addr
 }
 
-func newWorld(t *testing.T, an1 bool) *world {
+func newWorld(t testing.TB, an1 bool) *world {
 	s := sim.New()
 	var seg *wire.Segment
 	if an1 {

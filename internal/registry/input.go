@@ -108,7 +108,7 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 			// Learn the peer's data-phase BQI from the link header.
 			hc.peerBQI = advBQI
 		}
-		r.runEngine(t, func() { tc.Input(th, seg.Bytes()) })
+		r.runConn(t, hc, func() { tc.Input(th, seg.Bytes()) })
 		return
 	}
 
@@ -169,7 +169,7 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 		}
 		l.pending++
 		hc.inBacklog = true
-		r.runEngine(t, func() { tc.Input(th, seg.Bytes()) })
+		r.runConn(t, hc, func() { tc.Input(th, seg.Bytes()) })
 		return
 	}
 
@@ -180,11 +180,22 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 	}
 }
 
-// fastTimer drives delayed ACKs for registry-owned pcbs.
+// fastTimer drives delayed ACKs for registry-owned pcbs. In wheel mode
+// only pcbs with a pending delayed ACK are touched; the classic mode
+// scans every owned pcb each tick.
 func (r *Server) fastTimer(t *kern.Thread) {
 	c := &r.host.Cost
 	for {
 		t.Sleep(200 * time.Millisecond)
+		if r.wheel != nil {
+			r.runEngine(t, func() {
+				r.wheel.AdvanceFast(func(e *stacks.WheelEnt, fn func()) {
+					t.Compute(c.TimerOp)
+					fn()
+				})
+			})
+			continue
+		}
 		r.runEngine(t, func() {
 			r.owned.Each(func(tc *tcp.Conn) {
 				t.Compute(c.TimerOp)
@@ -200,12 +211,21 @@ func (r *Server) slowTimer(t *kern.Thread) {
 	c := &r.host.Cost
 	for {
 		t.Sleep(500 * time.Millisecond)
-		r.runEngine(t, func() {
-			r.owned.Each(func(tc *tcp.Conn) {
-				t.Compute(c.TimerOp)
-				tc.SlowTick()
+		if r.wheel != nil {
+			r.runEngine(t, func() {
+				r.wheel.AdvanceSlow(func(e *stacks.WheelEnt, fn func()) {
+					t.Compute(c.TimerOp)
+					fn()
+				})
 			})
-		})
+		} else {
+			r.runEngine(t, func() {
+				r.owned.Each(func(tc *tcp.Conn) {
+					t.Compute(c.TimerOp)
+					tc.SlowTick()
+				})
+			})
+		}
 		r.nif.Rsm.Expire(r.nifNow())
 	}
 }

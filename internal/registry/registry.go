@@ -113,10 +113,11 @@ type hsConn struct {
 	peerBQI uint16 // peer's advertised data-phase BQI
 	ourCh   *netio.Channel
 	ourCap  *netio.Capability
-	ourBQI  uint16     // reserved before the handshake on the AN1
-	reply   *kern.Port // where to deliver the handoff
-	l       *listener  // set for passive-side pcbs
-	reqID   uint64     // originating request id (dedup cache completion)
+	ourBQI  uint16           // reserved before the handshake on the AN1
+	went    *stacks.WheelEnt // timing-wheel registration (nil in tick mode)
+	reply   *kern.Port       // where to deliver the handoff
+	l       *listener        // set for passive-side pcbs
+	reqID   uint64           // originating request id (dedup cache completion)
 	// inBacklog marks a passive pcb counted against its listener's
 	// backlog, so exactly one decrement happens on handoff or failure.
 	inBacklog bool
@@ -206,6 +207,11 @@ type Server struct {
 	// faults is the control-plane fault injector; nil injects nothing.
 	faults *chaos.Injector
 
+	// wheel, when non-nil, replaces the per-tick scan of every owned pcb
+	// with timing-wheel timers (many-host worlds). Enabled before traffic;
+	// carried across Restart.
+	wheel *stacks.TCPWheel
+
 	rxq  *sim.Queue[*pkt.Buf]
 	cur  *kern.Thread
 	lock *sim.Semaphore
@@ -218,6 +224,21 @@ type Server struct {
 // SetTrace attaches the trace bus. Connections created afterwards inherit
 // it; the libraries query it via Bus when adopting handed-off engines.
 func (r *Server) SetTrace(b *trace.Bus) { r.bus = b }
+
+// EnableTimerWheel switches the registry's timer backend from per-pcb
+// tick scans to timing wheels. Must be called before the first connection
+// is attached; survives Restart.
+func (r *Server) EnableTimerWheel() {
+	if r.wheel == nil {
+		r.wheel = stacks.NewTCPWheel()
+	}
+}
+
+// SetEphemeralRange widens (or moves) the TCP ephemeral port range —
+// many-host churn worlds need more than the classic [1024,5000) window.
+func (r *Server) SetEphemeralRange(lo, hi uint16) {
+	r.ports = tcp.NewPortAllocRange(lo, hi)
+}
 
 // Bus returns the attached trace bus (nil when tracing is off).
 func (r *Server) Bus() *trace.Bus { return r.bus }
@@ -289,6 +310,12 @@ func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Serve
 		r.Svc = prev.Svc
 		r.faults = prev.faults
 		r.bus = prev.bus
+		if prev.wheel != nil {
+			// A fresh wheel: owned pcbs died with the old incarnation, and
+			// rebuild() only reconstructs transferred endpoints.
+			r.wheel = stacks.NewTCPWheel()
+		}
+		r.ports = tcp.NewPortAllocRange(prev.ports.EphemeralRange())
 		r.rebuildPending = true
 		// Perturb the ISS base per incarnation so connections the reborn
 		// registry opens cannot collide with sequence space the crashed one
@@ -480,7 +507,12 @@ func (r *Server) finishAsync(reqID uint64, target *kern.Port, reply kern.Msg) {
 func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	c := t.Cost()
 	t.Compute(c.RegistryPortAlloc + c.RegistryConnSetup)
-	local := tcp.Endpoint{IP: r.nif.IP, Port: r.ports.Ephemeral()}
+	port, err := r.ports.Ephemeral()
+	if err != nil {
+		r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
+		return
+	}
+	local := tcp.Endpoint{IP: r.nif.IP, Port: port}
 
 	// On the AN1 the BQI is reserved before the SYN leaves so it can ride
 	// the link header: "before initiating connection the server requests
@@ -507,13 +539,14 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	if err := r.owned.Insert(tc); err != nil {
 		delete(r.conns, tc)
 		r.ports.Release(local.Port)
+		r.dropBQI(hc)
 		r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 		return
 	}
 	if e, ok := r.reqCache[m.ID]; ok && m.ID != 0 {
 		e.hc = hc // a retry of this id retargets the eventual handoff
 	}
-	r.runEngine(t, func() { tc.OpenActive(r.nextISS()) })
+	r.runConn(t, hc, func() { tc.OpenActive(r.nextISS()) })
 	// The reply is sent by the established/closed callbacks.
 }
 
@@ -578,12 +611,12 @@ func (r *Server) handleInherit(t *kern.Thread, req InheritReq) {
 	if req.Abort {
 		// "To guard against an abnormal application termination, the
 		// protocol server issues a reset message to the remote peer."
-		r.runEngine(t, func() { tc.Abort() })
+		r.runConn(t, hc, func() { tc.Abort() })
 		return
 	}
 	// Orderly inheritance: close if the application had not, and drive the
 	// remaining states (FIN exchange, TIME_WAIT) from the registry.
-	r.runEngine(t, func() { tc.Close() })
+	r.runConn(t, hc, func() { tc.Close() })
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +666,9 @@ func (r *Server) setupChannel(t *kern.Thread, hc *hsConn, local, remote tcp.Endp
 // attach wires the registry-side callbacks for a pcb it owns.
 func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 	r.conns[tc] = hc
+	if r.wheel != nil {
+		hc.went = r.wheel.Add(tc, hc)
+	}
 	if r.bus.Enabled() {
 		tc.SetTrace(r.bus, r.host.Name+" "+tc.Local().String()+">"+tc.Peer().String())
 	}
@@ -644,6 +680,7 @@ func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 		OnClosed: func(err error) {
 			r.owned.Remove(tc)
 			delete(r.conns, tc)
+			r.wheel.Drop(hc.went)
 			if hc.inBacklog {
 				hc.inBacklog = false
 				hc.l.pending--
@@ -658,11 +695,13 @@ func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 				// Handshake failed before handoff.
 				if hc.ourCap != nil {
 					_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+					hc.ourCap = nil
 				}
 				r.finishAsync(hc.reqID, hc.reply,
 					kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
 				hc.reply = nil
 			}
+			r.dropBQI(hc)
 		},
 	})
 }
@@ -731,6 +770,7 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 	snap := tc.Snapshot()
 	r.owned.Remove(tc)
 	delete(r.conns, tc)
+	r.wheel.Drop(hc.went)
 	if hc.inBacklog {
 		hc.inBacklog = false
 		hc.l.pending--
@@ -771,6 +811,18 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 	}
 }
 
+// dropBQI returns a reserved-but-unconsumed ring index to the module. A
+// BQI that made it into a channel is recycled by DestroyChannel instead;
+// this covers handshakes that die between reservation and channel
+// creation, which under connection churn would otherwise drain the
+// hardware index space.
+func (r *Server) dropBQI(hc *hsConn) {
+	if hc.ourCap == nil && hc.ourBQI != 0 {
+		_ = r.nif.Mod.ReleaseBQI(r.dom, hc.ourBQI)
+	}
+	hc.ourBQI = 0
+}
+
 // abortSetup unwinds a connection whose channel could not be created at
 // establishment time: without it the port, pcb-table entry and backlog
 // slot stayed allocated forever and the client never got an answer.
@@ -778,6 +830,8 @@ func (r *Server) abortSetup(tc *tcp.Conn, hc *hsConn, err error) {
 	tc.SetCallbacks(tcp.Callbacks{})
 	r.owned.Remove(tc)
 	delete(r.conns, tc)
+	r.wheel.Drop(hc.went)
+	r.dropBQI(hc)
 	if hc.inBacklog {
 		hc.inBacklog = false
 		hc.l.pending--
@@ -804,6 +858,23 @@ func (r *Server) runEngine(t *kern.Thread, fn func()) {
 	fn()
 	r.cur = nil
 	r.lock.V()
+}
+
+// runConn runs an engine operation on one owned pcb. In wheel mode the
+// connection's tick counters are synced to the wheel clock before fn reads
+// them, and whatever fn arms is synced back onto the wheel afterwards; the
+// exit Sync is a no-op if a callback inside fn already dropped the entry
+// (the engine is Closed, so nothing re-arms).
+func (r *Server) runConn(t *kern.Thread, hc *hsConn, fn func()) {
+	if hc == nil || hc.went == nil {
+		r.runEngine(t, fn)
+		return
+	}
+	r.runEngine(t, func() {
+		r.wheel.Sync(hc.went)
+		fn()
+		r.wheel.Sync(hc.went)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -847,10 +918,12 @@ func (r *Server) handleCrash(t *kern.Thread, dom *kern.Domain) {
 	}
 	for _, hc := range dead {
 		tc := hc.tc
-		r.runEngine(t, func() { tc.Abort() })
+		r.runConn(t, hc, func() { tc.Abort() })
 		if hc.ourCap != nil {
 			_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+			hc.ourCap = nil
 		}
+		r.dropBQI(hc)
 	}
 
 	// Transferred connections: revoke the channel, release the port, reset

@@ -215,7 +215,11 @@ func (l *ikListener) Close(t *kern.Thread) {
 func (ik *InKernel) Connect(t *kern.Thread, remote tcp.Endpoint, opts Options) (Conn, error) {
 	t.Trap()
 	t.Compute(t.Cost().PCBSetup)
-	local := tcp.Endpoint{IP: ik.nif.IP, Port: ik.ports.Ephemeral()}
+	port, err := ik.ports.Ephemeral()
+	if err != nil {
+		return nil, err
+	}
+	local := tcp.Endpoint{IP: ik.nif.IP, Port: port}
 	tc := tcp.NewConn(tcpConfig(ik.nif, opts), local, remote, tcp.Callbacks{})
 	kc := ik.newConn(t.Sim(), tc, opts)
 	ik.attachEngine(tc, kc)

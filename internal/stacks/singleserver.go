@@ -190,7 +190,11 @@ func (ss *SingleServer) Connect(t *kern.Thread, remote tcp.Endpoint, opts Option
 	ss.rpc(t, 0) // socket()
 	ss.rpc(t, 0) // connect()
 	t.Compute(t.Cost().PCBSetup)
-	local := tcp.Endpoint{IP: ss.nif.IP, Port: ss.ports.Ephemeral()}
+	port, err := ss.ports.Ephemeral()
+	if err != nil {
+		return nil, err
+	}
+	local := tcp.Endpoint{IP: ss.nif.IP, Port: port}
 	tc := tcp.NewConn(tcpConfig(ss.nif, opts), local, remote, tcp.Callbacks{})
 	sock := ss.newConn(t.Sim(), tc, opts)
 	ss.attach(tc, sock, opts, nil)

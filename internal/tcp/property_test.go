@@ -350,14 +350,46 @@ func TestPortAlloc(t *testing.T) {
 	if a.Reserve(80) {
 		t.Fatal("double reserve allowed")
 	}
-	p1 := a.Ephemeral()
-	p2 := a.Ephemeral()
+	p1, err1 := a.Ephemeral()
+	p2, err2 := a.Ephemeral()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("ephemeral errors: %v, %v", err1, err2)
+	}
 	if p1 == p2 || p1 < 1024 || p2 < 1024 {
 		t.Fatalf("ephemeral ports %d, %d", p1, p2)
 	}
 	a.Release(p1)
 	if !a.Reserve(p1) {
 		t.Fatal("released port not reusable")
+	}
+}
+
+// TestPortAllocExhaustion pins the churn-world fix: an allocator whose
+// whole range is in use must return ErrPortExhausted instead of spinning
+// forever, and must recover once a port is released.
+func TestPortAllocExhaustion(t *testing.T) {
+	a := NewPortAllocRange(100, 104)
+	got := map[uint16]bool{}
+	for i := 0; i < 4; i++ {
+		p, err := a.Ephemeral()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if p < 100 || p >= 104 || got[p] {
+			t.Fatalf("alloc %d: bad or duplicate port %d", i, p)
+		}
+		got[p] = true
+	}
+	if _, err := a.Ephemeral(); err != ErrPortExhausted {
+		t.Fatalf("exhausted alloc: err = %v, want ErrPortExhausted", err)
+	}
+	a.Release(102)
+	p, err := a.Ephemeral()
+	if err != nil || p != 102 {
+		t.Fatalf("post-release alloc: %d, %v (want 102)", p, err)
+	}
+	if lo, hi := a.EphemeralRange(); lo != 100 || hi != 104 {
+		t.Fatalf("range = [%d, %d)", lo, hi)
 	}
 }
 

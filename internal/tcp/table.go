@@ -1,6 +1,10 @@
 package tcp
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // FourTuple identifies a connection.
 type FourTuple struct {
@@ -83,30 +87,86 @@ func (t *Table) Listener(port uint16) (*Conn, bool) {
 // Len returns the number of registered connections (excluding listeners).
 func (t *Table) Len() int { return len(t.conns) }
 
-// Each calls fn for every registered connection; fn must not mutate the
-// table (collect first, then act).
+// Each calls fn for every registered connection in a deterministic order
+// (four-tuple order for connections, port order for listeners); fn must not
+// mutate the table (collect first, then act). Map-range order would let two
+// connections firing timers in the same tick swap their transmissions
+// between runs, which the seeded replay matrix forbids.
 func (t *Table) Each(fn func(*Conn)) {
-	for _, c := range t.conns {
-		fn(c)
+	keys := make([]FourTuple, 0, len(t.conns))
+	for k := range t.conns {
+		keys = append(keys, k)
 	}
-	for _, c := range t.listeners {
-		fn(c)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		fn(t.conns[k])
+	}
+	ports := make([]int, 0, len(t.listeners))
+	for p := range t.listeners {
+		ports = append(ports, int(p))
+	}
+	sort.Ints(ports)
+	for _, p := range ports {
+		fn(t.listeners[uint16(p)])
 	}
 }
 
-// PortAlloc hands out ephemeral local ports, BSD-style (1024..5000). Ports
-// are reference-counted: a listener and the passive connections accepted
+// less orders four-tuples (local port, peer port, local IP, peer IP).
+func (a FourTuple) less(b FourTuple) bool {
+	if a.Local.Port != b.Local.Port {
+		return a.Local.Port < b.Local.Port
+	}
+	if a.Peer.Port != b.Peer.Port {
+		return a.Peer.Port < b.Peer.Port
+	}
+	if a.Local.IP != b.Local.IP {
+		return ipLess(a.Local.IP, b.Local.IP)
+	}
+	return ipLess(a.Peer.IP, b.Peer.IP)
+}
+
+func ipLess(a, b [4]byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// ErrPortExhausted reports that every port in the ephemeral range is in
+// use. Callers surface it as a setup failure; it resolves itself as
+// TIME_WAIT states expire and teardowns release their references.
+var ErrPortExhausted = errors.New("tcp: ephemeral port space exhausted")
+
+// PortAlloc hands out ephemeral local ports, BSD-style ([1024, 5000) by
+// default; NewPortAllocRange widens it for high-churn worlds). Ports are
+// reference-counted: a listener and the passive connections accepted
 // through it share the same local port, each holding one reference, and the
 // port is free again only when the last holder releases it.
 type PortAlloc struct {
-	next  uint16
-	inUse map[uint16]int
+	lo, hi uint16 // ephemeral range [lo, hi)
+	next   uint16
+	inUse  map[uint16]int
 }
 
-// NewPortAlloc creates an allocator.
+// NewPortAlloc creates an allocator over the classic BSD range.
 func NewPortAlloc() *PortAlloc {
-	return &PortAlloc{next: 1024, inUse: make(map[uint16]int)}
+	return NewPortAllocRange(1024, 5000)
 }
+
+// NewPortAllocRange creates an allocator handing out ephemeral ports from
+// [lo, hi). A 10k-connection churn world exhausts the ~4k BSD default
+// immediately; such worlds configure e.g. [1024, 65535).
+func NewPortAllocRange(lo, hi uint16) *PortAlloc {
+	if hi <= lo {
+		panic(fmt.Sprintf("tcp: bad ephemeral range [%d, %d)", lo, hi))
+	}
+	return &PortAlloc{lo: lo, hi: hi, next: lo, inUse: make(map[uint16]int)}
+}
+
+// EphemeralRange reports the configured [lo, hi) range.
+func (a *PortAlloc) EphemeralRange() (lo, hi uint16) { return a.lo, a.hi }
 
 // Reserve claims a specific port (bind); it reports whether it was free.
 func (a *PortAlloc) Reserve(p uint16) bool {
@@ -121,19 +181,22 @@ func (a *PortAlloc) Reserve(p uint16) bool {
 // listener's port). Retaining an unallocated port allocates it.
 func (a *PortAlloc) Retain(p uint16) { a.inUse[p]++ }
 
-// Ephemeral allocates the next free ephemeral port.
-func (a *PortAlloc) Ephemeral() uint16 {
-	for {
+// Ephemeral allocates the next free ephemeral port, scanning at most one
+// full cycle of the range: with every port in use it returns
+// ErrPortExhausted rather than spinning forever.
+func (a *PortAlloc) Ephemeral() (uint16, error) {
+	for i := int(a.hi) - int(a.lo); i > 0; i-- {
 		p := a.next
 		a.next++
-		if a.next >= 5000 {
-			a.next = 1024
+		if a.next >= a.hi {
+			a.next = a.lo
 		}
 		if a.inUse[p] == 0 {
 			a.inUse[p] = 1
-			return p
+			return p, nil
 		}
 	}
+	return 0, ErrPortExhausted
 }
 
 // Release drops one reference; the port is free when the count hits zero.

@@ -119,6 +119,71 @@ func (c *Conn) SlowTick() {
 	}
 }
 
+// NextSlowTicks reports how many SlowTicks from now the earliest armed
+// slow timer fires, or 0 when no slow timer is armed (or the connection is
+// Closed/Listen, where SlowTick is a no-op). A timer-wheel shell arms its
+// wheel entry for exactly this many ticks and skips the connection until
+// then.
+func (c *Conn) NextSlowTicks() int {
+	if c.state == Closed || c.state == Listen {
+		return 0
+	}
+	next := 0
+	for _, t := range [4]int{c.tRexmt, c.tPersist, c.tKeep, c.t2MSL} {
+		if t > 0 && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
+// CatchUpSlow advances the slow-timer state by k ticks during which no
+// timer fires: every armed counter is bulk-decremented and the RTT/idle
+// tick counters bulk-incremented, exactly as k sequential SlowTicks would
+// have done. The caller must guarantee k < NextSlowTicks() (or that no
+// timer is armed); AdvanceSlowTicks enforces this.
+func (c *Conn) CatchUpSlow(k int) {
+	if k <= 0 || c.state == Closed || c.state == Listen {
+		return
+	}
+	if c.tRtt > 0 {
+		c.tRtt += k
+	}
+	c.idleT += k
+	for _, t := range [4]*int{&c.tRexmt, &c.tPersist, &c.tKeep, &c.t2MSL} {
+		if *t > 0 {
+			*t -= k
+			if *t <= 0 {
+				panic("tcp: CatchUpSlow skipped over an armed timer")
+			}
+		}
+	}
+}
+
+// AdvanceSlowTicks applies n SlowTicks' worth of virtual time in O(fires)
+// rather than O(n): quiet stretches are bulk-advanced with CatchUpSlow and
+// each deadline that falls inside the window fires through the ordinary
+// SlowTick path (so expiry handlers see exactly the state they would under
+// n sequential calls, including timers they re-arm mid-window). This is
+// what lets a wheel-driven shell leave idle connections untouched for
+// thousands of ticks and still replay bit-identical protocol behavior.
+func (c *Conn) AdvanceSlowTicks(n int) {
+	for n > 0 {
+		next := c.NextSlowTicks()
+		if next == 0 || next > n {
+			c.CatchUpSlow(n)
+			return
+		}
+		c.CatchUpSlow(next - 1)
+		c.SlowTick()
+		n -= next
+	}
+}
+
+// DelAckPending reports whether a delayed ACK is waiting for the next
+// FastTick. A timer-wheel shell arms the fast wheel only while this holds.
+func (c *Conn) DelAckPending() bool { return c.delAck }
+
 // dec decrements a tick counter, reporting whether it just fired.
 func dec(t *int) bool {
 	if *t == 0 {

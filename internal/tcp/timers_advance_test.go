@@ -1,0 +1,167 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+
+	"ulp/internal/pkt"
+)
+
+// The bulk-advance helpers exist so a timer-wheel shell can leave an idle
+// connection untouched for thousands of ticks and catch it up in O(fires).
+// These tests pin the contract: AdvanceSlowTicks(n) must leave the
+// connection in exactly the state n sequential SlowTicks would, including
+// every segment the expiry handlers transmit, for every timer and every
+// chunking of n.
+
+// advConn builds a connection and hands it to setup for state injection.
+// Each sent segment is appended to the returned log as a compact signature
+// so two runs can be diffed.
+func advConn(setup func(*Conn)) (*Conn, *[]string) {
+	log := &[]string{}
+	c := NewConn(Config{KeepAliveTicks: 20}, Endpoint{[4]byte{10, 0, 0, 1}, 2000},
+		Endpoint{[4]byte{10, 0, 0, 2}, 80}, Callbacks{})
+	c.cb.Send = func(seg *pkt.Buf, h Header, payloadLen int) {
+		*log = append(*log, fmt.Sprintf("%d %d %d %d", h.Seq, h.Ack, h.Flags, payloadLen))
+	}
+	setup(c)
+	return c, log
+}
+
+// slowState snapshots everything SlowTick can influence.
+func slowState(c *Conn) string {
+	return fmt.Sprintf("st=%v rexmt=%d persist=%d keep=%d 2msl=%d rtt=%d idle=%d shift=%d rxtcur=%d cwnd=%d ssthresh=%d pshift=%d probes=%d sndnxt=%d snduna=%d stats=%+v",
+		c.state, c.tRexmt, c.tPersist, c.tKeep, c.t2MSL, c.tRtt, c.idleT,
+		c.rxtShift, c.rxtCur, c.cwnd, c.ssthresh, c.persistShift, c.keepProbes,
+		c.sndNxt, c.sndUna, c.stats)
+}
+
+// checkAdvance drives one clone tick-by-tick and the other through
+// AdvanceSlowTicks in the given chunks (summing to the same total), then
+// compares final state and transmission logs.
+func checkAdvance(t *testing.T, name string, setup func(*Conn), chunks []int) {
+	t.Helper()
+	total := 0
+	for _, k := range chunks {
+		total += k
+	}
+	seq, seqLog := advConn(setup)
+	for i := 0; i < total; i++ {
+		seq.SlowTick()
+	}
+	blk, blkLog := advConn(setup)
+	for _, k := range chunks {
+		blk.AdvanceSlowTicks(k)
+	}
+	if a, b := slowState(seq), slowState(blk); a != b {
+		t.Errorf("%s: state diverged after %d ticks\n sequential: %s\n bulk:       %s", name, total, a, b)
+	}
+	if a, b := fmt.Sprint(*seqLog), fmt.Sprint(*blkLog); a != b {
+		t.Errorf("%s: transmissions diverged\n sequential: %s\n bulk:       %s", name, a, b)
+	}
+}
+
+func TestAdvanceSlowTicksEquivalence(t *testing.T) {
+	established := func(c *Conn) {
+		c.state = Established
+		c.cwnd = 4 * c.sndMSS
+		c.ssthresh = 8 * c.sndMSS
+		c.sndUna, c.sndNxt = 1000, 1000
+		c.sndWnd = 8192
+	}
+	cases := []struct {
+		name  string
+		setup func(*Conn)
+	}{
+		{"rexmt-armed", func(c *Conn) {
+			established(c)
+			c.tRexmt = 7
+			c.tRtt = 2
+		}},
+		{"rexmt-repeated-backoff", func(c *Conn) {
+			// RTO 2 ticks: fires and re-arms several times inside one
+			// window, exercising re-arm-from-expiry-handler.
+			established(c)
+			c.srtt, c.rttvar = 8, 1
+			c.rxtCur = 2
+			c.tRexmt = 2
+		}},
+		{"persist-armed", func(c *Conn) {
+			established(c)
+			c.sndWnd = 0
+			c.tPersist = 5
+		}},
+		{"keepalive-probing", func(c *Conn) {
+			// Keepalive fires at tick 3 and re-arms every KeepAliveTicks,
+			// sending a probe segment each time.
+			established(c)
+			c.tKeep = 3
+		}},
+		{"timewait-expiry", func(c *Conn) {
+			c.state = TimeWait
+			c.t2MSL = 9
+		}},
+		{"multiple-timers", func(c *Conn) {
+			established(c)
+			c.tRexmt = 4
+			c.tKeep = 6
+			c.tRtt = 1
+		}},
+		{"nothing-armed", func(c *Conn) {
+			established(c)
+			c.tRtt = 3
+		}},
+		{"closed-noop", func(c *Conn) {}},
+	}
+	chunkings := [][]int{{25}, {1, 1, 1, 22}, {3, 5, 8, 9}, {24, 1}}
+	for _, tc := range cases {
+		for i, chunks := range chunkings {
+			checkAdvance(t, fmt.Sprintf("%s/chunks%d", tc.name, i), tc.setup, chunks)
+		}
+	}
+}
+
+func TestNextSlowTicks(t *testing.T) {
+	c, _ := advConn(func(c *Conn) {
+		c.state = Established
+		c.tRexmt = 7
+		c.tKeep = 3
+	})
+	if got := c.NextSlowTicks(); got != 3 {
+		t.Fatalf("NextSlowTicks = %d, want 3 (min of armed timers)", got)
+	}
+	c.tKeep = 0
+	if got := c.NextSlowTicks(); got != 7 {
+		t.Fatalf("NextSlowTicks = %d, want 7", got)
+	}
+	c.tRexmt = 0
+	if got := c.NextSlowTicks(); got != 0 {
+		t.Fatalf("NextSlowTicks = %d, want 0 when nothing armed", got)
+	}
+	c.tRexmt = 5
+	c.state = Closed
+	if got := c.NextSlowTicks(); got != 0 {
+		t.Fatalf("NextSlowTicks = %d, want 0 for Closed", got)
+	}
+}
+
+func TestDelAckPending(t *testing.T) {
+	c, log := advConn(func(c *Conn) {
+		c.state = Established
+		c.sndUna, c.sndNxt = 1000, 1000
+	})
+	if c.DelAckPending() {
+		t.Fatal("fresh conn claims a pending delayed ACK")
+	}
+	c.delAck = true
+	if !c.DelAckPending() {
+		t.Fatal("DelAckPending false with delAck set")
+	}
+	c.FastTick()
+	if c.DelAckPending() {
+		t.Fatal("delayed ACK still pending after FastTick")
+	}
+	if len(*log) != 1 {
+		t.Fatalf("FastTick sent %d segments, want 1 ACK", len(*log))
+	}
+}

@@ -170,19 +170,29 @@ func (w *Wheel) tick() int {
 			t = next
 		}
 	}
-	// Fire level-0 slot entries whose deadline matches.
+	// Fire level-0 slot entries whose deadline matches. Due timers are
+	// first spliced onto a private list and then popped one at a time, so
+	// an expiry callback may freely Cancel or re-Set any other timer —
+	// including one due this same tick — without corrupting the walk.
 	l := &w.levels[0][w.now&w.mask]
+	var due slotList
+	due.init()
 	for t := l.head.next; t != &l.head; {
 		next := t.next
 		if t.deadline <= w.now {
 			t.unlink()
-			t.armed = false
-			w.armed--
-			w.ops++
-			fired++
-			t.fn()
+			due.push(t)
 		}
 		t = next
+	}
+	for due.head.next != &due.head {
+		t := due.head.next
+		t.unlink()
+		t.armed = false
+		w.armed--
+		w.ops++
+		fired++
+		t.fn()
 	}
 	return fired
 }

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"time"
+
+	"ulp/internal/link"
+	"ulp/internal/sim"
+	"ulp/internal/trace"
+)
+
+// SwitchConfig turns a non-shared segment into a store-and-forward
+// learning switch: every station attaches to its own switch port, frames
+// cross the ingress link, pay a fixed switching latency, and queue on the
+// destination port's egress link. Two flows between disjoint host pairs
+// no longer contend — the property that lets a many-host world scale past
+// what one shared medium serializes.
+//
+// The switch learns source addresses as frames arrive. A unicast frame
+// whose destination has not yet transmitted floods every port (the
+// stations' MAC filters discard the copies they did not want), exactly
+// once per miss; after the destination's first transmission its frames
+// take the single learned port.
+type SwitchConfig struct {
+	// Latency is the per-frame store-and-forward plus lookup delay.
+	Latency time.Duration
+
+	// PortBitsPerSec is the egress port signalling rate; 0 uses the
+	// segment's BitsPerSec (a non-blocking fabric with matched ports).
+	PortBitsPerSec int64
+}
+
+// NewSwitched creates a switched segment. The base configuration must be
+// non-shared (each station already owns its ingress serialization).
+func NewSwitched(s *sim.Sim, cfg Config, sw SwitchConfig) *Segment {
+	if cfg.Shared {
+		panic("wire: switched fabric requires a non-shared segment")
+	}
+	g := New(s, cfg)
+	swc := sw
+	g.sw = &swc
+	g.macPort = make(map[link.Addr]Station)
+	g.egress = make(map[link.Addr]*sim.Resource)
+	return g
+}
+
+// Switched reports whether the segment runs a learning switch.
+func (g *Segment) Switched() bool { return g.sw != nil }
+
+// SwitchStats reports learned table size and forwarding counters:
+// switched frames took a single learned port, flooded frames were unicast
+// misses copied to every port.
+func (g *Segment) SwitchStats() (learned, switched, flooded int) {
+	return len(g.macPort), g.framesSwitched, g.framesFlooded
+}
+
+func switchCB(a any) {
+	f := a.(*inflight)
+	f.g.forward(f)
+}
+
+// forward runs at the switch after the ingress hop: learn the source,
+// then unicast out the learned port or flood.
+func (g *Segment) forward(f *inflight) {
+	src, dst := f.src, f.dst
+	if _, ok := g.macPort[src]; !ok {
+		if st, here := g.stations[src]; here {
+			g.macPort[src] = st
+		}
+	}
+	if !dst.IsBroadcast() {
+		if st, ok := g.macPort[dst]; ok {
+			g.framesSwitched++
+			f.st = st
+			g.egressSend(f)
+			return
+		}
+		g.framesFlooded++
+	}
+	g.flood(f)
+}
+
+// flood copies the frame to every port except the ingress one, in attach
+// order; the last recipient takes ownership of the original buffer.
+func (g *Segment) flood(f *inflight) {
+	src, dst, b := f.src, f.dst, f.b
+	f.put()
+	last := -1
+	for i, st := range g.order {
+		if st.Addr() != src {
+			last = i
+		}
+	}
+	if last < 0 {
+		b.Release()
+		return
+	}
+	for i, st := range g.order {
+		if st.Addr() == src {
+			continue
+		}
+		fb := b
+		if i != last {
+			fb = b.Clone()
+		}
+		d := inflightPool.Get().(*inflight)
+		*d = inflight{g: g, src: src, dst: dst, b: fb, st: st}
+		g.egressSend(d)
+	}
+}
+
+// egressSend serializes the frame onto the destination port's egress link
+// and schedules final delivery after the port-to-station propagation.
+func (g *Segment) egressSend(f *inflight) {
+	rate := g.sw.PortBitsPerSec
+	if rate == 0 {
+		rate = g.cfg.BitsPerSec
+	}
+	bits := int64(f.b.Len()+g.cfg.FrameOverhead) * 8
+	tx := time.Duration(bits * int64(time.Second) / rate)
+	res := g.egress[f.st.Addr()]
+	res.UseAsyncArg(tx, egressCB, f)
+}
+
+func egressCB(a any) {
+	f := a.(*inflight)
+	f.g.s.AfterArg(f.g.cfg.Propagation, switchedDeliverCB, f)
+}
+
+func switchedDeliverCB(a any) {
+	f := a.(*inflight)
+	g, st, b := f.g, f.st, f.b
+	f.put()
+	b.Meta.RxDev = g.cfg.Name
+	if g.Bus.Enabled() {
+		g.Bus.Emit(trace.Event{Kind: trace.FrameRx, Node: g.cfg.Name,
+			Conn: st.Addr().String(), A: int64(b.Len()), Frame: b.Bytes()})
+	}
+	st.Deliver(b)
+}

@@ -132,6 +132,11 @@ type Segment struct {
 	faults   Faults
 	rng      *rand.Rand
 
+	// Learning-switch state (nil/unused unless built with NewSwitched).
+	sw      *SwitchConfig
+	macPort map[link.Addr]Station
+	egress  map[link.Addr]*sim.Resource
+
 	// Trace, when non-nil, observes every transmission at queue time (for
 	// diagnostics and protocol traces).
 	Trace func(src, dst link.Addr, frameLen int, at sim.Time)
@@ -146,6 +151,7 @@ type Segment struct {
 
 	// Stats
 	framesSent, framesDropped, framesCorrupted, framesDuplicated int
+	framesSwitched, framesFlooded                                int
 	bytesSent                                                    int64
 }
 
@@ -183,6 +189,9 @@ func (g *Segment) Attach(st Station) {
 	g.order = append(g.order, st)
 	if !g.cfg.Shared {
 		g.perPort[a] = g.s.NewResource(g.cfg.Name + "." + a.String() + ".tx")
+	}
+	if g.sw != nil {
+		g.egress[a] = g.s.NewResource(g.cfg.Name + "." + a.String() + ".egress")
 	}
 }
 
@@ -230,7 +239,8 @@ type inflight struct {
 	g        *Segment
 	src, dst link.Addr
 	b        *pkt.Buf
-	idx      int // 0-based transmit-order index (for scheduled faults)
+	idx      int     // 0-based transmit-order index (for scheduled faults)
+	st       Station // resolved egress station (switched fabric only)
 }
 
 var inflightPool = sync.Pool{New: func() any { return new(inflight) }}
@@ -320,6 +330,14 @@ func (g *Segment) propagate(f *inflight) {
 		}
 		f.put()
 		b.Release()
+		return
+	}
+	if g.sw != nil {
+		// Switched fabric: the ingress hop ends at the switch, which
+		// forwards (or floods) onto per-destination egress links. Faults
+		// above model the ingress link, so the RNG draw order per frame is
+		// identical to the point-to-point segment.
+		g.s.AfterArg(delay+g.sw.Latency, switchCB, f)
 		return
 	}
 	g.s.AfterArg(delay, deliverCB, f)

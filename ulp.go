@@ -130,6 +130,22 @@ type Config struct {
 	Chaos *chaos.FaultPlan
 	// Costs overrides the calibrated cost model (ablations).
 	Costs *costs.Model
+
+	// Switch builds the segment as a store-and-forward learning switch
+	// instead of a single medium — required for many-host worlds where
+	// disjoint flows must not contend. Ethernet ignores it (the paper's
+	// Ethernet is a shared wire by definition).
+	Switch *wire.SwitchConfig
+	// TimerWheel switches the user-level organization's TCP timer backend
+	// (registry and every library) from per-connection tick scans to
+	// timing wheels; O(1) per tick instead of O(connections). Virtual-time
+	// results change only in worlds with >1 connection per shell, where
+	// tick order was never a documented property.
+	TimerWheel bool
+	// EphemeralLo/Hi widen the registries' ephemeral port range beyond
+	// the classic [1024,5000) — churn worlds recycle far more ports.
+	// Both zero = default range.
+	EphemeralLo, EphemeralHi uint16
 }
 
 // World is a built simulation: a network segment plus hosts running the
@@ -188,7 +204,12 @@ func NewWorld(cfg Config) *World {
 	default:
 		wcfg = wire.AN1Config()
 	}
-	seg := wire.New(s, wcfg)
+	var seg *wire.Segment
+	if cfg.Switch != nil && !wcfg.Shared {
+		seg = wire.NewSwitched(s, wcfg, *cfg.Switch)
+	} else {
+		seg = wire.New(s, wcfg)
+	}
 	if cfg.Faults != nil {
 		seg.SetFaults(*cfg.Faults)
 	} else if cfg.Chaos != nil {
@@ -212,10 +233,19 @@ func NewWorld(cfg Config) *World {
 			dev = netdev.NewAN1(h, seg, addr, link.AN1MaxMTU)
 		}
 		mod := netio.New(h, dev)
-		n := &Node{world: w, Index: i, Host: h, Mod: mod, IP: ipv4.Addr{10, 0, 0, byte(i + 1)}}
+		// The third octet carries the high host bits, so worlds scale past
+		// 254 hosts; for small worlds this is the classic 10.0.0.x.
+		n := &Node{world: w, Index: i, Host: h, Mod: mod,
+			IP: ipv4.Addr{10, 0, byte((i + 1) >> 8), byte(i + 1)}}
 		switch cfg.Org {
 		case OrgUserLib:
 			n.Registry = registry.New(s, mod, n.IP)
+			if cfg.TimerWheel {
+				n.Registry.EnableTimerWheel()
+			}
+			if cfg.EphemeralHi != 0 {
+				n.Registry.SetEphemeralRange(cfg.EphemeralLo, cfg.EphemeralHi)
+			}
 			if cfg.Chaos != nil {
 				n.Registry.SetControlFaults(chaos.NewInjector(
 					cfg.Chaos.Seed+uint64(i), cfg.Chaos.Control))
@@ -400,6 +430,9 @@ func (n *Node) App(name string) *App {
 	switch {
 	case n.Registry != nil:
 		a.Lib = core.NewLibrary(n.world.Sim, dom, n.Registry)
+		if n.world.cfg.TimerWheel {
+			a.Lib.EnableTimerWheel()
+		}
 		a.Stack = a.Lib
 	case n.InKernel != nil:
 		a.Stack = n.InKernel
