@@ -12,9 +12,14 @@ import (
 	"time"
 
 	"ulp/internal/chaos"
+	"ulp/internal/filter"
+	"ulp/internal/ipv4"
 	"ulp/internal/kern"
+	"ulp/internal/link"
+	"ulp/internal/netio"
 	"ulp/internal/pkt"
 	"ulp/internal/stacks"
+	"ulp/internal/tcp"
 	"ulp/internal/wire"
 )
 
@@ -561,4 +566,158 @@ func TestChaosDelayedReplyDeduped(t *testing.T) {
 	if hits := w.Node(0).Registry.DedupHits() + w.Node(1).Registry.DedupHits(); hits < 1 {
 		t.Fatal("no dedup hits: the delayed-reply path never exercised the request-ID cache")
 	}
+}
+
+// rawTCPFrame builds a complete Ethernet/IPv4/TCP frame for module-level
+// injection, bypassing any stack — the hostile-tenant scenarios need
+// traffic aimed at a channel no library is draining.
+func rawTCPFrame(srcIP, dstIP ipv4.Addr, src, dst link.Addr, srcPort, dstPort uint16, payload []byte) *pkt.Buf {
+	b := pkt.FromBytes(link.EthHeaderLen+ipv4.HeaderLen+tcp.HeaderLen, payload)
+	th := tcp.Header{SrcPort: srcPort, DstPort: dstPort, Flags: tcp.FlagACK, Window: 1024}
+	th.Encode(b, srcIP, dstIP)
+	ih := ipv4.Header{TTL: 64, Proto: ipv4.ProtoTCP, Src: srcIP, Dst: dstIP}
+	ih.Encode(b)
+	lh := link.EthHeader{Dst: dst, Src: src, Type: link.TypeIPv4}
+	lh.Encode(b)
+	return b
+}
+
+// Zero-copy safety among nontrusting tenants, half 1: a hostile tenant
+// claims a receive ring and never drains it while a flood is aimed at it.
+// By-reference delivery must not let that pin unbounded pool storage — once
+// the ring is full, further frames are dropped at delivery with buffer and
+// ring slot released on the spot, so the flood's footprint is bounded by
+// the hostile tenant's own ring capacity and a well-behaved neighbor's
+// transfer through the same module proceeds untouched.
+func TestChaosZeroCopyHostileFloodBounded(t *testing.T) {
+	trackPoolLeaks(t)
+	w := NewWorld(Config{Org: OrgUserLib, Net: Ethernet, ZeroCopyRx: true})
+	n0, n1 := w.Node(0), w.Node(1)
+
+	// The hostile tenant: a ring of 8 frames, never drained.
+	const ring = 8
+	hostile := n0.Host.NewDomain("hostile", true)
+	spec := filter.Spec{
+		LinkHdrLen: link.EthHeaderLen, Proto: ipv4.ProtoTCP,
+		LocalIP: n0.IP, LocalPort: 9,
+		RemoteIP: n1.IP, RemotePort: 1999,
+	}
+	tmpl := netio.Template{
+		LinkSrc: link.MakeAddr(1), LinkDst: link.MakeAddr(2), Type: link.TypeIPv4,
+		Proto: ipv4.ProtoTCP, LocalIP: n0.IP, LocalPort: 9,
+		RemoteIP: n1.IP, RemotePort: 1999,
+	}
+	hcap, hch, err := n0.Mod.CreateChannel(hostile, spec, tmpl, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedWithHostile := n0.Mod.PinnedRegions()
+
+	// The flood: far more frames than the ring holds, paced to overlap the
+	// neighbor's whole transfer.
+	const floodFrames = 120
+	flooder := n1.Host.NewDomain("flooder", true)
+	flooder.Spawn("flood", func(th *kern.Thread) {
+		for i := 0; i < floodFrames; i++ {
+			b := rawTCPFrame(n1.IP, n0.IP, link.MakeAddr(2), link.MakeAddr(1),
+				1999, 9, pattern(1024))
+			n1.Mod.SendKernel(th, b)
+			th.Sleep(500 * time.Microsecond)
+		}
+	})
+
+	// The well-behaved neighbor: a full echo through the same two modules,
+	// in flight while the flood saturates the hostile ring.
+	echoTransfer(t, w, 64*1024, stacks.Options{}, 5*time.Minute)
+	w.Run(5 * time.Second) // drain the close handshake and flood tail
+
+	if hch.Overflows == 0 || hch.Dropped == 0 {
+		t.Fatalf("flood never overflowed the hostile ring (overflows=%d dropped=%d) — scenario is not exercising saturation",
+			hch.Overflows, hch.Dropped)
+	}
+	if hch.Delivered != ring {
+		t.Fatalf("hostile ring queued %d frames, want exactly its capacity %d", hch.Delivered, ring)
+	}
+	// The flood's entire pool footprint is the hostile ring: every other
+	// buffer in the world has been released (the neighbor's liens settle
+	// when its input threads go back to Wait).
+	if n := pkt.OutstandingCount(); n != ring {
+		t.Fatalf("%d pkt.Bufs outstanding with the hostile ring full, want %d:\n%s",
+			n, ring, pkt.FormatLeakReport())
+	}
+	// Destroying the hostile channel reclaims the queued references.
+	if err := n0.Mod.DestroyChannel(hostile, hcap); err != nil {
+		t.Fatalf("destroy hostile channel: %v", err)
+	}
+	if got := n0.Mod.PinnedRegions(); got != pinnedWithHostile-1 {
+		t.Fatalf("pinned regions = %d after destroy, want %d", got, pinnedWithHostile-1)
+	}
+	assertNoPoolLeaks(t)
+}
+
+// Zero-copy safety among nontrusting tenants, half 2: an application
+// crashes while the module still holds by-reference deliveries on its
+// behalf — frames queued in its ring and liens on the batch its input
+// thread was processing. The kill path must sweep every reference (no
+// pinned regions, no live capabilities, no stranded pool buffers) and the
+// peer must observe a reset, all without the dead application's help.
+func TestChaosZeroCopyCrashSweepsReferences(t *testing.T) {
+	trackPoolLeaks(t)
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet, ZeroCopyRx: true,
+		Chaos: &chaos.FaultPlan{
+			Seed: 7,
+			// The receiver dies mid-stream: it is the side holding
+			// zero-copy references when the crash lands.
+			Crashes: []chaos.CrashPoint{{Host: 0, App: "server", At: 80 * time.Millisecond}},
+		},
+	})
+	enableConformance(t, w)
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	var cliErr error
+	cliDone := false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		c, err := l.Accept(th)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Read(th, buf); err != nil {
+				return
+			}
+		}
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		// Stream into the receiver until its crash turns into a reset.
+		for {
+			if _, cliErr = c.Write(th, pattern(1024)); cliErr != nil {
+				cliDone = true
+				return
+			}
+			th.Sleep(2 * time.Millisecond)
+		}
+	})
+	w.RunUntil(time.Minute, func() bool { return cliDone })
+	if !cliDone {
+		t.Fatal("client never unblocked: no reset observed from the crashed receiver")
+	}
+	if cliErr != stacks.ErrReset {
+		t.Fatalf("client error = %v, want ErrReset", cliErr)
+	}
+	if !srv.Dom.Dead() {
+		t.Fatal("crash point did not fire")
+	}
+	// Drain the teardown, then audit the crashed node: the sweep must have
+	// reclaimed the dead receiver's rings, liens, and capabilities.
+	w.Run(5 * time.Second)
+	assertNoOrphans(t, w, 0, srv.Dom)
+	assertNoPoolLeaks(t)
 }

@@ -29,10 +29,11 @@ func main() {
 	churnConns := flag.Int("churn-conns", 1000, "churn: total connection setups")
 	churnClients := flag.Int("churn-clients", 4, "churn: number of client hosts")
 	churnWorkers := flag.Int("churn-workers", 8, "churn: concurrent connect loops per client")
+	zerocopy := flag.Bool("zerocopy", false, "deliver received frames by reference (refcounted zero-copy rings) in -stats and -churn")
 	flag.Parse()
 
 	if *churn {
-		runChurn(*churnConns, *churnClients, *churnWorkers)
+		runChurn(*churnConns, *churnClients, *churnWorkers, *zerocopy)
 		return
 	}
 
@@ -41,7 +42,7 @@ func main() {
 		return
 	}
 	if *stats {
-		runStats()
+		runStats(*zerocopy)
 		return
 	}
 	if *ablations {
@@ -257,10 +258,14 @@ func runAblations() {
 	}
 }
 
-func runStats() {
+func runStats(zerocopy bool) {
+	mode := ""
+	if zerocopy {
+		mode = ", zero-copy rx"
+	}
 	for _, sys := range experiments.Systems {
-		header(fmt.Sprintf("Per-layer counters: %s (Ethernet, 1 MB bulk transfer)", sys.Label))
-		report, err := experiments.StatsReport(sys.Org, experiments.NetEthernet, nil)
+		header(fmt.Sprintf("Per-layer counters: %s (Ethernet, 1 MB bulk transfer%s)", sys.Label, mode))
+		report, err := experiments.StatsReportZC(sys.Org, experiments.NetEthernet, nil, zerocopy)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stats:", err)
 			continue
@@ -293,8 +298,13 @@ func printOrgs() {
 // runChurn renders the connection-churn experiment (PR 7): the same
 // setup/teardown workload through the classic configuration and the
 // many-host fast path (switched fabric, steered demux, timing wheels).
-func runChurn(conns, clients, workers int) {
-	header(fmt.Sprintf("Connection churn: %d setups, %d clients x %d workers", conns, clients, workers))
+// With -zerocopy both modes also deliver received frames by reference.
+func runChurn(conns, clients, workers int, zerocopy bool) {
+	zc := ""
+	if zerocopy {
+		zc = ", zero-copy rx"
+	}
+	header(fmt.Sprintf("Connection churn: %d setups, %d clients x %d workers%s", conns, clients, workers, zc))
 	fmt.Printf("%-10s %10s %10s %10s %12s %12s %10s %14s\n",
 		"Config", "p50", "p99", "p999", "setups/vsec", "virtual", "wall", "events/wsec")
 	for _, mode := range []struct {
@@ -303,6 +313,7 @@ func runChurn(conns, clients, workers int) {
 	}{{"legacy", false}, {"fast", true}} {
 		r := experiments.Churn(experiments.ChurnConfig{
 			Conns: conns, Clients: clients, Workers: workers, FastPath: mode.fast,
+			ZeroCopyRx: zerocopy,
 		})
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "churn (%s): %v\n", mode.name, r.Err)

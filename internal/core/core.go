@@ -396,6 +396,14 @@ func (c *Conn) fail(err error) {
 
 // inputThread is the per-connection upcalled thread: it waits on the
 // channel's lightweight semaphore and feeds batches to the engine.
+//
+// Zero-copy interplay: on a ZeroCopyRx channel the batch frames are the
+// module's pool buffers handed over by reference, with the channel holding
+// a lien that settles at the next Wait. The contract this loop satisfies is
+// that a batch is fully consumed before Wait is called again — inputFrame
+// releases each frame after TCP reassembly copies what it keeps, and the
+// deferred sweep below covers a mid-batch kill — so the lien settling
+// underneath us can never free storage we still read.
 func (c *Conn) inputThread(t *kern.Thread) {
 	cost := &c.lib.host.Cost
 	// If the domain is killed mid-batch (Kill runs deferred functions via

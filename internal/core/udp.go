@@ -156,6 +156,9 @@ func (u *UDPConn) Recv(t *kern.Thread) udp.Datagram {
 				t.Compute(c.UDPPacket + c.Checksum(len(d.Payload)))
 				u.queue = append(u.queue, d)
 			}
+			// parse copied the payload it kept; the frame dies here, so
+			// the pool (and a zero-copy channel's lien) can recycle it.
+			b.Release()
 		}
 	}
 	d := u.queue[0]

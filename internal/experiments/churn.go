@@ -36,6 +36,10 @@ type ChurnConfig struct {
 	// wheels, and a wide ephemeral range. Off = the classic two-host
 	// configuration scaled up as-is.
 	FastPath bool
+	// ZeroCopyRx delivers received frames by reference (refcounted pool
+	// buffers plus ring descriptors) instead of modeling the per-byte
+	// kernel→region copy.
+	ZeroCopyRx bool
 	// Net selects the network (default NetAN1; the switch applies only
 	// to non-shared networks).
 	Net NetSel
@@ -89,6 +93,7 @@ func Churn(cfg ChurnConfig) ChurnResult {
 		ucfg.TimerWheel = true
 		ucfg.EphemeralLo, ucfg.EphemeralHi = 1024, 60000
 	}
+	ucfg.ZeroCopyRx = cfg.ZeroCopyRx
 	w := ulp.NewWorld(ucfg)
 
 	res := ChurnResult{Conns: cfg.Conns, Clients: cfg.Clients}

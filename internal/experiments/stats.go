@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"ulp"
 	"ulp/internal/costs"
 	"ulp/internal/stacks"
 )
@@ -14,7 +15,16 @@ import (
 // cost accounting. The report reflects the whole run including connection
 // setup.
 func StatsReport(org OrgSel, net NetSel, model *costs.Model) (string, error) {
-	w := newWorld(org, net, model)
+	return StatsReportZC(org, net, model, false)
+}
+
+// StatsReportZC is StatsReport with the zero-copy receive path toggled:
+// with it on, the breakdown shows referenced_bytes/delivered_by_ref rising
+// where copied_bytes would have, per channel and in aggregate.
+func StatsReportZC(org OrgSel, net NetSel, model *costs.Model, zeroCopy bool) (string, error) {
+	w := newWorldWith(org, net, model, func(cfg *ulp.Config) {
+		cfg.ZeroCopyRx = zeroCopy
+	})
 	if _, err := bulkSend(w, 1<<20, 8192, stacks.Options{}, 30*time.Second); err != nil {
 		return "", err
 	}

@@ -92,7 +92,7 @@ func Table1(model *costs.Model) (Table1Result, error) {
 				}
 				received++
 				lastByte = time.Duration(t.Now())
-				_ = b
+				b.Release()
 			}
 		}
 	})

@@ -19,6 +19,12 @@ type world struct {
 // newWorld builds a two-host world for a system/network pair. A nil model
 // uses the calibrated default.
 func newWorld(org OrgSel, net NetSel, model *costs.Model) *world {
+	return newWorldWith(org, net, model, nil)
+}
+
+// newWorldWith is newWorld with a config hook applied before the world is
+// built (zero-copy mode, doorbell budgets — anything experiments toggle).
+func newWorldWith(org OrgSel, net NetSel, model *costs.Model, mut func(*ulp.Config)) *world {
 	cfg := ulp.Config{Costs: model}
 	switch org {
 	case OrgUltrix:
@@ -35,6 +41,9 @@ func newWorld(org OrgSel, net NetSel, model *costs.Model) *world {
 		cfg.Net = ulp.AN1
 	case NetAN1Jumbo:
 		cfg.Net = ulp.AN1Jumbo
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	w := &world{w: ulp.NewWorld(cfg)}
 	if os.Getenv("ULP_TRACE") == "1" {

@@ -157,6 +157,23 @@ type Channel struct {
 	mod     *Module
 	bd      *binding // software demux entry (nil on AN1 / raw kernel)
 
+	// Zero-copy receive mode (Module.ZeroCopyRx at creation time): deliver
+	// hands buffer references to the library instead of modeling a copy
+	// into the shared region; only a fixed-size descriptor is written.
+	zeroCopy bool
+	// budget is the doorbell batch budget: at most one semaphore post per
+	// budget descriptors while the library lags (zero-copy mode only).
+	budget int
+	// sinceDoorbell counts descriptors posted since the last doorbell.
+	sinceDoorbell int
+	// posted numbers descriptors written into the shared region's ring.
+	posted uint64
+	// inflight holds the channel's liens: buffers handed out by the last
+	// Wait/TryRecv, retained until the next drain (or a revocation sweep)
+	// so the kernel can always reclaim what a dead or distrusting
+	// application still references.
+	inflight []*pkt.Buf
+
 	// overflowed marks that the ring is currently in an overflow episode,
 	// so repeated drops within one burst are one episode.
 	overflowed bool
@@ -168,6 +185,10 @@ type Channel struct {
 	// Quarantined counts packets suppressed because the channel's lease
 	// expired (control plane down).
 	Quarantined int
+	// DeliveredByRef counts packets handed over by reference (zero-copy);
+	// CopiedBytes/ReferencedBytes split the payload volume by path.
+	DeliveredByRef               int
+	CopiedBytes, ReferencedBytes int64
 }
 
 // Wait blocks the library thread until the channel is notified, then
@@ -176,38 +197,92 @@ type Channel struct {
 // notification"). A nil batch means a spurious wakeup (see Poke); callers
 // re-check their termination condition and wait again.
 func (ch *Channel) Wait(t *kern.Thread) []*pkt.Buf {
+	// The previous batch's liens settle before blocking, not after: calling
+	// Wait again is the consumer's declaration that it is done with the old
+	// batch, so an idle consumer parked on an empty ring holds no buffer
+	// references at all.
+	ch.settleInflight()
 	if len(ch.rxq) == 0 {
 		ch.sem.P(t)
 	}
-	batch := ch.rxq
-	ch.rxq = nil
-	// Consume any extra pending notification so the next Wait blocks.
-	for ch.sem.TryP() {
-	}
-	if ch.bqi != 0 {
-		if an1, ok := ch.mod.dev.(*netdev.AN1); ok {
-			for range batch {
-				an1.Release(ch.bqi)
-			}
-		}
-	}
-	return batch
+	return ch.take()
 }
 
 // TryRecv drains pending packets without blocking.
 func (ch *Channel) TryRecv() []*pkt.Buf {
+	return ch.take()
+}
+
+// take drains the ring: it settles the liens on the previous batch (the
+// library finished with it — a batch is valid only until the next drain),
+// returns the hardware ring slots the drained frames held, and in zero-copy
+// mode liens the new batch so revocation can always reclaim it.
+//
+// Slot accounting is per frame via Meta.BQI, not per channel: a batch may
+// mix hardware-ring frames with kernel-injected ones (which never occupied
+// a slot), and a quarantine or overflow drop returns its slot at the drop
+// point — so a batch drained across quarantine onset neither leaks nor
+// over-releases ring slots.
+func (ch *Channel) take() []*pkt.Buf {
+	ch.settleInflight()
 	batch := ch.rxq
 	ch.rxq = nil
+	ch.sinceDoorbell = 0
+	// Consume any extra pending notification so the next Wait blocks.
 	for ch.sem.TryP() {
 	}
-	if ch.bqi != 0 && len(batch) > 0 {
-		if an1, ok := ch.mod.dev.(*netdev.AN1); ok {
-			for range batch {
-				an1.Release(ch.bqi)
-			}
+	for _, b := range batch {
+		ch.releaseSlot(b)
+	}
+	if ch.zeroCopy && len(batch) > 0 {
+		for _, b := range batch {
+			b.Retain()
 		}
+		ch.inflight = append(ch.inflight, batch...)
 	}
 	return batch
+}
+
+// settleInflight drops the channel's liens on the previously drained batch.
+func (ch *Channel) settleInflight() {
+	for _, b := range ch.inflight {
+		b.Release()
+	}
+	ch.inflight = ch.inflight[:0]
+}
+
+// sweepInflight reclaims the channel's liens outside the normal drain
+// cycle — revocation, quarantine, teardown. With poison set the packet
+// bytes are zeroed in place first, so a live but distrusting tenant that
+// kept references past its lease can never read data it no longer owns; a
+// dead application's sweep skips the scrub (its address space is gone).
+func (ch *Channel) sweepInflight(poison bool, reason string) {
+	if len(ch.inflight) == 0 {
+		return
+	}
+	n := len(ch.inflight)
+	for _, b := range ch.inflight {
+		if poison {
+			b.Poison()
+		}
+		b.Release()
+	}
+	ch.inflight = nil
+	if ch.mod.Bus.Enabled() {
+		ch.mod.Bus.Emit(trace.Event{Kind: trace.ChanSweep, Node: ch.mod.dev.Name(),
+			A: int64(ch.id), B: int64(n), Text: reason})
+	}
+}
+
+// releaseSlot returns the hardware ring slot a frame occupies, if any.
+// Kernel-injected frames (Meta.BQI zero) never held one.
+func (ch *Channel) releaseSlot(b *pkt.Buf) {
+	if b.Meta.BQI == 0 {
+		return
+	}
+	if an1, ok := ch.mod.dev.(*netdev.AN1); ok {
+		an1.Release(b.Meta.BQI)
+	}
 }
 
 // Pending reports queued packets (diagnostics).
@@ -219,8 +294,13 @@ func (ch *Channel) Poke() { ch.sem.V() }
 
 // Inject delivers a frame into the channel from the kernel's default input
 // path — used by the registry to forward stray segments of a connection
-// whose demultiplexing binding was installed mid-exchange.
-func (ch *Channel) Inject(b *pkt.Buf) { ch.deliver(b) }
+// whose demultiplexing binding was installed mid-exchange. An injected
+// frame never occupies a hardware ring slot, whatever its metadata said on
+// arrival, so its BQI is cleared before slot accounting can see it.
+func (ch *Channel) Inject(b *pkt.Buf) {
+	b.Meta.BQI = 0
+	ch.deliver(b)
+}
 
 // BQI returns the channel's hardware demultiplexing index (0 on Ethernet).
 func (ch *Channel) BQI() uint16 { return ch.bqi }
@@ -249,6 +329,18 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 		if bus.Enabled() {
 			bus.Emit(trace.Event{Kind: trace.ChanQuarantine, Node: ch.mod.dev.Name(), A: int64(ch.id)})
 		}
+		if ch.zeroCopy {
+			// Zero-copy channels hold references a distrusting tenant can
+			// still read: reclaim the liens (scrubbing the bytes) and the
+			// queued-but-undrained frames at quarantine onset.
+			ch.sweepInflight(true, "quarantine")
+			for _, q := range ch.rxq {
+				ch.releaseSlot(q)
+				q.Release()
+			}
+			ch.rxq = nil
+		}
+		ch.releaseSlot(b)
 		b.Release()
 		return
 	}
@@ -265,6 +357,7 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 			ch.mod.NotificationsTotal++
 			ch.sem.V()
 		}
+		ch.releaseSlot(b)
 		b.Release()
 		return
 	}
@@ -274,20 +367,55 @@ func (ch *Channel) deliver(b *pkt.Buf) {
 	ch.mod.DeliveredTotal++
 	if len(ch.rxq) > ch.HighWater {
 		ch.HighWater = len(ch.rxq)
+		if ch.HighWater > ch.mod.RingHighWater {
+			ch.mod.RingHighWater = ch.HighWater
+		}
 	}
 	if bus.Enabled() {
 		bus.Emit(trace.Event{Kind: trace.ChanDeliver, Node: ch.mod.dev.Name(),
 			A: int64(ch.id), B: int64(len(ch.rxq))})
 	}
-	if len(ch.rxq) == 1 || ch.noBatch {
-		ch.Notifications++
-		ch.mod.NotificationsTotal++
-		if bus.Enabled() {
-			bus.Emit(trace.Event{Kind: trace.ChanNotify, Node: ch.mod.dev.Name(),
-				A: int64(ch.id), B: int64(len(ch.rxq))})
+	if ch.zeroCopy {
+		ch.postDescriptor(b)
+		// Batched doorbells: the empty→nonempty transition always rings
+		// (the library may be asleep), and while the library lags the bell
+		// rings again at most once per budget descriptors — a bounded
+		// prod, not one post per packet. DisableBatching degrades to the
+		// per-packet ablation as in copy mode.
+		ch.sinceDoorbell++
+		if len(ch.rxq) == 1 || ch.noBatch || ch.sinceDoorbell >= ch.budget {
+			ch.sinceDoorbell = 0
+			ch.notify(bus)
 		}
-		ch.sem.V()
+		return
 	}
+	if len(ch.rxq) == 1 || ch.noBatch {
+		ch.notify(bus)
+	}
+}
+
+// notify posts the channel's semaphore and accounts the doorbell.
+func (ch *Channel) notify(bus *trace.Bus) {
+	ch.Notifications++
+	ch.mod.NotificationsTotal++
+	if bus.Enabled() {
+		bus.Emit(trace.Event{Kind: trace.ChanNotify, Node: ch.mod.dev.Name(),
+			A: int64(ch.id), B: int64(len(ch.rxq))})
+	}
+	ch.sem.V()
+}
+
+// postDescriptor writes the fixed-size receive descriptor — sequence
+// number and frame length — into the channel's shared-region ring. On the
+// zero-copy path these eight bytes are the only ones the kernel moves; the
+// frame itself stays in the pool buffer the library reads by reference.
+func (ch *Channel) postDescriptor(b *pkt.Buf) {
+	ch.posted++
+	slot := int(ch.posted%uint64(ch.cap)) * 8
+	d := ch.Region.Buf[slot : slot+8]
+	seq, n := uint32(ch.posted), uint32(b.Len())
+	d[0], d[1], d[2], d[3] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+	d[4], d[5], d[6], d[7] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
 }
 
 // Placement of a software demux entry: hash-steered (exact or
@@ -407,6 +535,18 @@ type Module struct {
 	// packet batching is very effective").
 	DisableBatching bool
 
+	// ZeroCopyRx makes channels created from now on deliver by reference:
+	// matched frames hand the pool buffer to the library and post only a
+	// fixed-size descriptor into the shared region, instead of modeling a
+	// kernel→region copy. Opt-in (Config.ZeroCopyRx), like the switch and
+	// the timer wheel: legacy replays never see the new cost profile.
+	ZeroCopyRx bool
+
+	// DoorbellBatch is the zero-copy doorbell budget: while the library
+	// lags, at most one semaphore post per this many posted descriptors.
+	// Zero means the default of 8.
+	DoorbellBatch int
+
 	// leases, when non-nil, bounds how long an endpoint may be served
 	// without the control plane renewing it. The table belongs to the
 	// module, not the registry: leases survive a registry crash exactly
@@ -431,6 +571,12 @@ type Module struct {
 	// CopiedBytes counts bytes moved by the kernel→shared-region receive
 	// copy on software-demux devices (Table-style "copies" breakdown).
 	CopiedBytes int64
+	// ReferencedBytes/DeliveredByRef count the zero-copy complement:
+	// payload volume and packets handed to the library by reference.
+	ReferencedBytes int64
+	DeliveredByRef  int
+	// RingHighWater is the deepest any channel's receive ring ever got.
+	RingHighWater int
 
 	// Bus, when set, receives demux/channel/capability events. Nil-safe.
 	Bus *trace.Bus
@@ -512,17 +658,29 @@ func (m *Module) steerLookup(frame []byte) *binding {
 	return m.steerWild[wild]
 }
 
-// deliverMatched accounts and completes a software demux hit: the packet
-// was staged into kernel memory by the PIO copy; moving it into the
-// channel's shared region is a second copy on this interface.
+// deliverMatched accounts and completes a software demux hit. On the
+// classic path the packet was staged into kernel memory by the PIO copy and
+// moving it into the channel's shared region is a second, per-byte copy.
+// On a zero-copy channel the buffer itself is handed over and the kernel
+// pays only the fixed descriptor post — the per-packet cost no longer
+// scales with payload size, which is the whole point.
 func (m *Module) deliverMatched(bd *binding, b *pkt.Buf) {
 	m.DemuxMatched++
 	if m.Bus.Enabled() {
 		m.Bus.Emit(trace.Event{Kind: trace.DemuxHit, Node: m.dev.Name(),
 			A: int64(bd.ch.id), B: int64(b.Len())})
 	}
-	m.CopiedBytes += int64(b.Len())
-	m.host.CPU.UseAsync(m.host.Cost.Copy(b.Len()), nil)
+	if bd.ch.zeroCopy {
+		m.ReferencedBytes += int64(b.Len())
+		m.DeliveredByRef++
+		bd.ch.ReferencedBytes += int64(b.Len())
+		bd.ch.DeliveredByRef++
+		m.host.CPU.UseAsync(m.host.Cost.DescriptorPost, nil)
+	} else {
+		m.CopiedBytes += int64(b.Len())
+		bd.ch.CopiedBytes += int64(b.Len())
+		m.host.CPU.UseAsync(m.host.Cost.Copy(b.Len()), nil)
+	}
 	bd.ch.deliver(b)
 }
 
@@ -632,11 +790,16 @@ func (m *Module) createChannel(spec *filter.Spec, match func([]byte) bool, tmpl 
 		ringSize = 32
 	}
 	ch := &Channel{
-		Region:  kern.NewRegion(fmt.Sprintf("%s.ch%d", m.dev.Name(), m.nextCapID), ringSize*2048),
-		sem:     kern.NewSem(m.host, "chan-sem", 0),
-		cap:     ringSize,
-		noBatch: m.DisableBatching,
-		mod:     m,
+		Region:   kern.NewRegion(fmt.Sprintf("%s.ch%d", m.dev.Name(), m.nextCapID), ringSize*2048),
+		sem:      kern.NewSem(m.host, "chan-sem", 0),
+		cap:      ringSize,
+		noBatch:  m.DisableBatching,
+		zeroCopy: m.ZeroCopyRx,
+		budget:   m.DoorbellBatch,
+		mod:      m,
+	}
+	if ch.budget <= 0 {
+		ch.budget = 8
 	}
 	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch}
 	m.nextCapID++
@@ -732,10 +895,14 @@ func (m *Module) DestroyChannel(from *kern.Domain, cap *Capability) error {
 	// Packets still queued in the ring die with the channel: nobody will
 	// ever Wait on it again, so they must be returned to the pool here or
 	// they leak (found by the pool leak report under the chaos scenarios).
+	// Zero-copy liens on the batch last handed out die the same way — a
+	// crashed application's outstanding references must not keep pool
+	// storage alive (no scrub: the owner is gone, not distrusting).
 	for _, b := range cap.ch.rxq {
 		b.Release()
 	}
 	cap.ch.rxq = nil
+	cap.ch.sweepInflight(false, "destroy")
 	cap.ch.Region.Unpin()
 	if m.Bus.Enabled() {
 		m.Bus.Emit(trace.Event{Kind: trace.CapRevoked, Node: m.dev.Name(), A: int64(cap.id)})
@@ -895,6 +1062,49 @@ func (m *Module) PinnedRegions() int {
 		}
 	}
 	return n
+}
+
+// ChannelStats is a snapshot of one live channel's receive counters, for
+// the stats registry's per-channel breakdown.
+type ChannelStats struct {
+	ID                                int64
+	BQI                               uint16
+	Delivered, Dropped, Notifications int
+	Overflows, HighWater, Quarantined int
+	DeliveredByRef                    int
+	CopiedBytes, ReferencedBytes      int64
+	Pending, Inflight                 int
+}
+
+// ChannelStats enumerates per-channel receive counters for every live
+// channel, ordered by capability id (deterministic). Destroyed channels'
+// contributions survive only in the module aggregates.
+func (m *Module) ChannelStats() []ChannelStats {
+	ids := make([]uint64, 0, len(m.caps))
+	for id := range m.caps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]ChannelStats, 0, len(ids))
+	for _, id := range ids {
+		ch := m.caps[id].ch
+		out = append(out, ChannelStats{
+			ID:              int64(id),
+			BQI:             ch.bqi,
+			Delivered:       ch.Delivered,
+			Dropped:         ch.Dropped,
+			Notifications:   ch.Notifications,
+			Overflows:       ch.Overflows,
+			HighWater:       ch.HighWater,
+			Quarantined:     ch.Quarantined,
+			DeliveredByRef:  ch.DeliveredByRef,
+			CopiedBytes:     ch.CopiedBytes,
+			ReferencedBytes: ch.ReferencedBytes,
+			Pending:         len(ch.rxq),
+			Inflight:        len(ch.inflight),
+		})
+	}
+	return out
 }
 
 // SoftwareBindings counts installed software demux entries across the

@@ -26,6 +26,12 @@ const leakStackDepth = 12
 type leakState struct {
 	mu   sync.Mutex
 	live map[*Buf][leakStackDepth]uintptr
+	// dead is the graveyard: the acquisition site of each released buffer,
+	// kept so a double-Release or Retain-after-Release panic can name the
+	// site that acquired the buffer in its previous life. Bounded by the
+	// pool's Buf-struct population (structs are recycled, so a reused Buf
+	// migrates back to live and its graveyard entry is dropped).
+	dead map[*Buf][leakStackDepth]uintptr
 }
 
 var (
@@ -40,8 +46,10 @@ func SetLeakTracking(on bool) {
 	leakTrack.mu.Lock()
 	if on {
 		leakTrack.live = make(map[*Buf][leakStackDepth]uintptr)
+		leakTrack.dead = make(map[*Buf][leakStackDepth]uintptr)
 	} else {
 		leakTrack.live = nil
+		leakTrack.dead = nil
 	}
 	leakTrack.mu.Unlock()
 	leakOn.Store(on)
@@ -60,6 +68,9 @@ func leakTrackGet(b *Buf) {
 	if leakTrack.live != nil {
 		leakTrack.live[b] = pcs
 	}
+	if leakTrack.dead != nil {
+		delete(leakTrack.dead, b) // the struct begins a new life
+	}
 	leakTrack.mu.Unlock()
 }
 
@@ -69,9 +80,33 @@ func leakTrackPut(b *Buf) {
 	}
 	leakTrack.mu.Lock()
 	if leakTrack.live != nil {
-		delete(leakTrack.live, b)
+		if pcs, ok := leakTrack.live[b]; ok {
+			delete(leakTrack.live, b)
+			if leakTrack.dead != nil {
+				leakTrack.dead[b] = pcs
+			}
+		}
 	}
 	leakTrack.mu.Unlock()
+}
+
+// leakSiteOf returns a "; acquired at:\n..." suffix naming the buffer's
+// acquisition site for lifecycle-bug panics, or "" when tracking is off or
+// the buffer predates it.
+func leakSiteOf(b *Buf) string {
+	if !leakOn.Load() {
+		return ""
+	}
+	leakTrack.mu.Lock()
+	pcs, ok := leakTrack.live[b]
+	if !ok {
+		pcs, ok = leakTrack.dead[b]
+	}
+	leakTrack.mu.Unlock()
+	if !ok {
+		return ""
+	}
+	return "; acquired at:\n" + formatStack(pcs)
 }
 
 // LeakRecord aggregates outstanding buffers acquired at the same site.

@@ -16,6 +16,7 @@ type Buf struct {
 	off      int
 	cls      int8 // storage size class; -1 when not pool-managed
 	released bool
+	refs     int32 // extra references beyond the owner; 0 = sole owner
 
 	// Meta carries simulation-side metadata; it is not part of the bytes on
 	// the wire.
@@ -151,4 +152,34 @@ func (b *Buf) Clone() *Buf {
 	nb.Meta = b.Meta
 	copy(nb.data, b.data)
 	return nb
+}
+
+// Retain adds a reference to the buffer. Each reference must be balanced
+// by its own Release; the storage returns to the pool only when the last
+// reference releases. Retaining a released buffer panics — it would
+// resurrect storage the pool may already have handed to someone else.
+func (b *Buf) Retain() {
+	if b.released {
+		panic("pkt: Retain after Release" + leakSiteOf(b))
+	}
+	b.refs++
+}
+
+// Shared reports whether references beyond the owner's exist. A shared
+// buffer must not be mutated in place (Strip/Trim/Extend/Prepend) — the
+// other holders see the same bytes.
+func (b *Buf) Shared() bool { return b.refs > 0 }
+
+// Refs returns the number of extra references (0 = sole owner). For
+// diagnostics and tests.
+func (b *Buf) Refs() int { return int(b.refs) }
+
+// Poison zeroes the packet bytes in place. Revocation paths use it so a
+// distrusting or misbehaving tenant that is stripped of a buffer reference
+// can never read data that arrived after its lease ended.
+func (b *Buf) Poison() {
+	if b.released {
+		return
+	}
+	zero(b.data)
 }

@@ -22,13 +22,20 @@ func SetTraceBus(b *trace.Bus) { poolBus.Store(b) }
 // compatible size. Classes cover the stack's real frame population — control
 // segments (bare headers), Ethernet MTU frames, and AN1 jumbo frames.
 //
-// Lifecycle rules (see DESIGN.md "Wall-clock performance"):
+// Lifecycle rules (see DESIGN.md §7c "Buffer ownership and zero-copy
+// lifecycle"):
 //
 //   - Exactly one owner at a time. Passing a buffer to Transmit/Deliver
 //     transfers ownership; cloning creates an independently owned copy.
-//   - The owner at a packet's death point calls Release. Releasing twice, or
-//     touching a buffer (or any slice obtained from it) after Release, is a
-//     lifecycle bug; double release panics.
+//   - Retain adds an extra reference; each reference is balanced by its own
+//     Release. The storage returns to the free list only when the final
+//     reference releases, so a zero-copy channel can lien a buffer while the
+//     application still reads it.
+//   - The holder at a packet's death point calls Release. Releasing more
+//     times than references exist, or touching a buffer (or any slice
+//     obtained from it) after the final Release, is a lifecycle bug; the
+//     extra release panics with the buffer's acquisition site when leak
+//     tracking is on.
 //   - Recycled storage is zeroed on reallocation, so a leaked reference can
 //     never observe another packet's bytes and New's documented "payload
 //     region is zeroed" contract holds.
@@ -138,13 +145,18 @@ func putData(data []byte, cls int8) {
 	pool.mu.Unlock()
 }
 
-// Release returns the buffer to the allocator once the owner is done with
-// it. The caller must not touch the buffer (or any slice obtained from it)
-// afterwards. Releasing a buffer twice panics: it would hand the same
-// storage to two owners.
+// Release drops one reference. While extra references exist (Retain), it
+// only decrements; the final Release returns the storage to the allocator,
+// after which the caller must not touch the buffer (or any slice obtained
+// from it). Releasing past the final reference panics: it would hand the
+// same storage to two owners.
 func (b *Buf) Release() {
 	if b.released {
-		panic("pkt: buffer released twice")
+		panic("pkt: buffer released twice" + leakSiteOf(b))
+	}
+	if b.refs > 0 {
+		b.refs--
+		return
 	}
 	b.released = true
 	data, cls := b.data, b.cls

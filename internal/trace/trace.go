@@ -62,6 +62,9 @@ const (
 	ListenDrop      // SYN dropped by a full listen backlog; A = listener port, B = pending handshakes
 	ChanQuarantine  // delivery suppressed: capability lease expired; A = capability id
 	RegistryRestart // reborn registry rebuilt state from the module; A = epoch, B = endpoints re-adopted
+
+	// Zero-copy receive events.
+	ChanSweep // in-flight buffer references reclaimed; A = capability id, B = count, Text = reason
 )
 
 var kindNames = [...]string{
@@ -91,6 +94,8 @@ var kindNames = [...]string{
 	ListenDrop:      "listen-drop",
 	ChanQuarantine:  "chan-quarantine",
 	RegistryRestart: "registry-restart",
+
+	ChanSweep: "chan-sweep",
 }
 
 func (k Kind) String() string {

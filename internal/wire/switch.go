@@ -80,7 +80,10 @@ func (g *Segment) forward(f *inflight) {
 }
 
 // flood copies the frame to every port except the ingress one, in attach
-// order; the last recipient takes ownership of the original buffer.
+// order; the last recipient takes ownership of the original buffer. A
+// frame someone else still references (zero-copy lien) is cloned for every
+// recipient instead — stations strip headers in place, so a shared buffer
+// must never be handed over — and our reference is dropped.
 func (g *Segment) flood(f *inflight) {
 	src, dst, b := f.src, f.dst, f.b
 	f.put()
@@ -94,17 +97,21 @@ func (g *Segment) flood(f *inflight) {
 		b.Release()
 		return
 	}
+	shared := b.Shared()
 	for i, st := range g.order {
 		if st.Addr() == src {
 			continue
 		}
 		fb := b
-		if i != last {
+		if i != last || shared {
 			fb = b.Clone()
 		}
 		d := inflightPool.Get().(*inflight)
 		*d = inflight{g: g, src: src, dst: dst, b: fb, st: st}
 		g.egressSend(d)
+	}
+	if shared {
+		b.Release()
 	}
 }
 

@@ -351,7 +351,11 @@ func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 	}
 	if dst.IsBroadcast() {
 		// The final recipient takes ownership of the original frame, so a
-		// broadcast to n stations costs n-1 clones rather than n.
+		// broadcast to n stations costs n-1 clones rather than n. A frame
+		// someone else still references (zero-copy lien, retransmission
+		// hold) cannot be handed to a recipient at all — recipients strip
+		// headers in place — so every copy is a clone and our reference is
+		// dropped instead.
 		last := -1
 		for i, st := range g.order {
 			if st.Addr() != src {
@@ -362,15 +366,19 @@ func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 			b.Release()
 			return
 		}
+		shared := b.Shared()
 		for i, st := range g.order {
 			if st.Addr() == src {
 				continue
 			}
-			if i == last {
+			if i == last && !shared {
 				st.Deliver(b)
 			} else {
 				st.Deliver(b.Clone())
 			}
+		}
+		if shared {
+			b.Release()
 		}
 		return
 	}

@@ -146,6 +146,18 @@ type Config struct {
 	// the classic [1024,5000) — churn worlds recycle far more ports.
 	// Both zero = default range.
 	EphemeralLo, EphemeralHi uint16
+
+	// ZeroCopyRx switches every module's receive channels to by-reference
+	// delivery: matched frames are handed to the library as refcounted
+	// buffer references plus a fixed-size descriptor in the shared region,
+	// instead of modeling a per-byte kernel→region copy, and doorbell
+	// notifications are batched under DoorbellBatch. Opt-in like Switch
+	// and TimerWheel: legacy worlds keep the classic copy cost profile.
+	ZeroCopyRx bool
+	// DoorbellBatch bounds doorbell coalescing in zero-copy mode: at most
+	// one notification per this many posted descriptors while the library
+	// lags. Zero means the default (8).
+	DoorbellBatch int
 }
 
 // World is a built simulation: a network segment plus hosts running the
@@ -233,6 +245,8 @@ func NewWorld(cfg Config) *World {
 			dev = netdev.NewAN1(h, seg, addr, link.AN1MaxMTU)
 		}
 		mod := netio.New(h, dev)
+		mod.ZeroCopyRx = cfg.ZeroCopyRx
+		mod.DoorbellBatch = cfg.DoorbellBatch
 		// The third octet carries the high host bits, so worlds scale past
 		// 254 hosts; for small worlds this is the classic 10.0.0.x.
 		n := &Node{world: w, Index: i, Host: h, Mod: mod,
@@ -347,7 +361,22 @@ func (w *World) StatsRegistry() *stats.Registry {
 			emit("delivered", int64(n.Mod.DeliveredTotal))
 			emit("notifications", int64(n.Mod.NotificationsTotal))
 			emit("copied_bytes", n.Mod.CopiedBytes)
+			emit("referenced_bytes", n.Mod.ReferencedBytes)
+			emit("delivered_by_ref", int64(n.Mod.DeliveredByRef))
+			emit("ring_high_water", int64(n.Mod.RingHighWater))
 			emit("quarantine_drops", int64(n.Mod.QuarantineDrops))
+			// Per-channel breakdown for live channels, keyed by capability
+			// id: which endpoint's ring copied, referenced, or dropped.
+			for _, cs := range n.Mod.ChannelStats() {
+				pfx := fmt.Sprintf("ch%d.", cs.ID)
+				emit(pfx+"delivered", int64(cs.Delivered))
+				emit(pfx+"delivered_by_ref", int64(cs.DeliveredByRef))
+				emit(pfx+"copied_bytes", cs.CopiedBytes)
+				emit(pfx+"referenced_bytes", cs.ReferencedBytes)
+				emit(pfx+"dropped", int64(cs.Dropped))
+				emit(pfx+"high_water", int64(cs.HighWater))
+				emit(pfx+"notifications", int64(cs.Notifications))
+			}
 		})
 		if n.Registry != nil {
 			// The closure reads n.Registry at snapshot time, so it tracks
