@@ -721,3 +721,124 @@ func TestChaosZeroCopyCrashSweepsReferences(t *testing.T) {
 	assertNoOrphans(t, w, 0, srv.Dom)
 	assertNoPoolLeaks(t)
 }
+
+// Shards crash independently — on both hosts — while a dozen connections
+// churn through setup, echo, and teardown. The control plane must keep
+// admitting and completing setups (dead shards are routed around via
+// successor steering and replicated listeners), migrated connections must
+// finish their transfers, and when the dust settles nothing may leak: no
+// ports, no transferred-connection records, no capabilities, no pinned
+// regions, no pool buffers — on either host — with the RFC 793 conformance
+// checker watching every frame.
+func TestChaosShardCrashesUnderChurnLeaveNoLeaks(t *testing.T) {
+	trackPoolLeaks(t)
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet, RegistryShards: 2,
+		Chaos: &chaos.FaultPlan{
+			Seed: 11,
+			Wire: wire.Faults{LossProb: 0.02},
+			ShardCrashes: []chaos.ShardCrash{
+				{Host: 0, Shard: 0, At: 1 * time.Second, RestartAfter: 5 * time.Second},
+				{Host: 1, Shard: 1, At: 3 * time.Second, RestartAfter: 5 * time.Second},
+				{Host: 0, Shard: 1, At: 8 * time.Second, RestartAfter: 5 * time.Second},
+			},
+		},
+	})
+	enableConformance(t, w)
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	const conns = 12
+	served := 0
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		for i := 0; i < conns; i++ {
+			c, err := l.Accept(th)
+			if err != nil {
+				return
+			}
+			served++
+			srv.Go("echo", func(th *kern.Thread) {
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(th, buf)
+					if err != nil {
+						return
+					}
+					if n == 0 {
+						c.Close(th)
+						return
+					}
+					if _, err := c.Write(th, buf[:n]); err != nil {
+						return
+					}
+				}
+			})
+		}
+		l.Close(th)
+	})
+	okConns, doneConns := 0, 0
+	for i := 0; i < conns; i++ {
+		// Staggered starts straddle all three shard outages.
+		cli.GoAfter(time.Duration(i)*900*time.Millisecond, "cli", func(th *kern.Thread) {
+			defer func() { doneConns++ }()
+			c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			msg := pattern(256)
+			if _, err := c.Write(th, msg); err != nil {
+				return
+			}
+			buf := make([]byte, 512)
+			got := 0
+			for got < len(msg) {
+				n, err := c.Read(th, buf)
+				if err != nil || n == 0 {
+					break
+				}
+				got += n
+			}
+			c.Close(th)
+			if got == len(msg) {
+				okConns++
+			}
+		})
+	}
+	w.RunUntil(3*time.Minute, func() bool { return doneConns == conns })
+	if doneConns != conns || okConns != conns || served != conns {
+		t.Fatalf("churn incomplete: done=%d ok=%d served=%d want %d", doneConns, okConns, served, conns)
+	}
+	// Ride out the last restart and TIME_WAIT (2*MSL = 60 s), then audit.
+	w.Run(2 * time.Minute)
+	// Every crashed shard reborn, siblings untouched.
+	wantEpoch := map[[2]int]int{{0, 0}: 2, {0, 1}: 2, {1, 0}: 1, {1, 1}: 2}
+	for host := 0; host < 2; host++ {
+		fed := w.Node(host).Fed
+		for i := 0; i < fed.Shards(); i++ {
+			if !fed.Live(i) {
+				t.Errorf("host %d shard %d not live at end", host, i)
+			}
+			if got := fed.Shard(i).Epoch(); got != wantEpoch[[2]int{host, i}] {
+				t.Errorf("host %d shard %d epoch = %d, want %d", host, i, got, wantEpoch[[2]int{host, i}])
+			}
+		}
+	}
+	for host := 0; host < 2; host++ {
+		n := w.Node(host)
+		fed := n.Fed
+		if got := fed.PortsInUse(); got != 0 {
+			t.Errorf("host %d: %d ports still allocated", host, got)
+		}
+		if got := fed.TransferredConns(); got != 0 {
+			t.Errorf("host %d: %d transferred connections not reclaimed", host, got)
+		}
+		if got := fed.OwnedConns(); got != 0 {
+			t.Errorf("host %d: %d registry-owned pcbs remain", host, got)
+		}
+		if got := n.Mod.PinnedRegions(); got != 0 {
+			t.Errorf("host %d: %d shared regions still pinned", host, got)
+		}
+	}
+	assertNoPoolLeaks(t)
+}

@@ -29,11 +29,12 @@ func main() {
 	churnConns := flag.Int("churn-conns", 1000, "churn: total connection setups")
 	churnClients := flag.Int("churn-clients", 4, "churn: number of client hosts")
 	churnWorkers := flag.Int("churn-workers", 8, "churn: concurrent connect loops per client")
+	shards := flag.Int("shards", 0, "churn: federate each host's registry into N shards (0/1 = single registry)")
 	zerocopy := flag.Bool("zerocopy", false, "deliver received frames by reference (refcounted zero-copy rings) in -stats and -churn")
 	flag.Parse()
 
 	if *churn {
-		runChurn(*churnConns, *churnClients, *churnWorkers, *zerocopy)
+		runChurn(*churnConns, *churnClients, *churnWorkers, *shards, *zerocopy)
 		return
 	}
 
@@ -299,7 +300,9 @@ func printOrgs() {
 // setup/teardown workload through the classic configuration and the
 // many-host fast path (switched fabric, steered demux, timing wheels).
 // With -zerocopy both modes also deliver received frames by reference.
-func runChurn(conns, clients, workers int, zerocopy bool) {
+// With -shards N a third row federates each host's registry into N
+// pinned-CPU shards, the sharded control plane that parallelizes setup.
+func runChurn(conns, clients, workers, shards int, zerocopy bool) {
 	zc := ""
 	if zerocopy {
 		zc = ", zero-copy rx"
@@ -307,13 +310,22 @@ func runChurn(conns, clients, workers int, zerocopy bool) {
 	header(fmt.Sprintf("Connection churn: %d setups, %d clients x %d workers%s", conns, clients, workers, zc))
 	fmt.Printf("%-10s %10s %10s %10s %12s %12s %10s %14s\n",
 		"Config", "p50", "p99", "p999", "setups/vsec", "virtual", "wall", "events/wsec")
-	for _, mode := range []struct {
-		name string
-		fast bool
-	}{{"legacy", false}, {"fast", true}} {
+	modes := []struct {
+		name   string
+		fast   bool
+		shards int
+	}{{"legacy", false, 0}, {"fast", true, 0}}
+	if shards >= 2 {
+		modes = append(modes, struct {
+			name   string
+			fast   bool
+			shards int
+		}{fmt.Sprintf("sharded%d", shards), true, shards})
+	}
+	for _, mode := range modes {
 		r := experiments.Churn(experiments.ChurnConfig{
 			Conns: conns, Clients: clients, Workers: workers, FastPath: mode.fast,
-			ZeroCopyRx: zerocopy,
+			Shards: mode.shards, ZeroCopyRx: zerocopy,
 		})
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "churn (%s): %v\n", mode.name, r.Err)
@@ -326,5 +338,6 @@ func runChurn(conns, clients, workers int, zerocopy bool) {
 			r.EventsPerWSec)
 	}
 	fmt.Println("(virtual percentiles are dominated by the modeled 1993 registry setup cost;")
-	fmt.Println(" the fast path's win is wall-clock events/sec and flat per-conn demux/timer cost)")
+	fmt.Println(" the fast path's win is wall-clock events/sec and flat per-conn demux/timer cost;")
+	fmt.Println(" sharding parallelizes the registry CPU itself, lifting setups/vsec)")
 }

@@ -41,6 +41,11 @@ type FaultPlan struct {
 	// the control plane's single point of failure — optionally followed by
 	// a restart on the same host at a later virtual time.
 	RegistryCrashes []RegistryCrash
+
+	// ShardCrashes schedules crashes of individual registry shards in a
+	// federated (sharded) control plane. Worlds built without RegistryShards
+	// ignore them.
+	ShardCrashes []ShardCrash
 }
 
 // ControlFaults describes registry service misbehaviour.
@@ -78,6 +83,24 @@ type CrashPoint struct {
 type RegistryCrash struct {
 	// Host indexes the node whose registry dies.
 	Host int
+	// At is the virtual time of the crash.
+	At time.Duration
+	// RestartAfter is the delay from the crash to the restart (0 = never).
+	RestartAfter time.Duration
+}
+
+// ShardCrash kills one shard of a host's federated registry at time At.
+// The surviving shards keep serving (requests and frames for the dead
+// shard's tuples fail over to a successor); leases the dead shard issued
+// expire, so its handed-off connections migrate to survivors. If
+// RestartAfter is nonzero a fresh incarnation of the shard boots that much
+// later, rebuilds its statically-owned endpoints from the module, and
+// reclaims ownership from the survivors.
+type ShardCrash struct {
+	// Host indexes the node whose registry federation loses a shard.
+	Host int
+	// Shard indexes the shard within the federation.
+	Shard int
 	// At is the virtual time of the crash.
 	At time.Duration
 	// RestartAfter is the delay from the crash to the restart (0 = never).

@@ -32,6 +32,7 @@ import (
 	"ulp/internal/sim"
 	"ulp/internal/stacks"
 	"ulp/internal/tcp"
+	"ulp/internal/trace"
 )
 
 // Library is one application's protocol library instance.
@@ -41,6 +42,20 @@ type Library struct {
 	app  *kern.Domain
 	reg  *registry.Server
 	mod  *netio.Module
+	nif  *stacks.Netif
+
+	// meta, when non-nil, is the metaregistry index of a sharded registry:
+	// control-plane requests are routed to the authoritative shard and
+	// coalesced into per-tick batches instead of going to one server port.
+	meta *registry.Meta
+	// rr sequences round-robin connect routing across live shards.
+	rr uint64
+	// batchq feeds the batcher thread; nil outside federation mode.
+	batchq *sim.Queue[batchItem]
+
+	// busFn resolves the current trace bus (tracing may be enabled after
+	// the library is created, and registry incarnations change on restart).
+	busFn func() *trace.Bus
 
 	conns map[*Conn]struct{}
 	ids   ipv4.IDGen
@@ -81,6 +96,17 @@ const (
 	// TTLs — long enough for any scheduled restart, finite so a registry
 	// that never returns yields ErrRegistryUnavailable, not a hang.
 	reconnectAttempts = 10
+
+	// batchWindow is how long the batcher thread holds the first queued
+	// control request to coalesce whatever else the application issues in
+	// the same tick into one kernel IPC per shard.
+	batchWindow = 100 * time.Microsecond
+
+	// admissionRetries bounds how often a quota-denied connect is retried
+	// (each retry is a fresh request under the shared backoff schedule —
+	// the denial executed nothing, so a new id is correct and required:
+	// reusing the id would replay the cached denial forever).
+	admissionRetries = 12
 )
 
 // nextReqID issues a fresh request id (never zero).
@@ -94,10 +120,21 @@ func (l *Library) nextReqID() uint64 {
 // executed (reply lost) is answered from the registry's dedup cache rather
 // than re-executed.
 func (l *Library) callRegistry(t *kern.Thread, m kern.Msg) (kern.Msg, error) {
+	return l.callPort(t, nil, m)
+}
+
+// callPort is callRegistry aimed at an explicit shard service port. A nil
+// svc re-picks the default control port per attempt, so retries fail over
+// past a shard that crashed mid-call.
+func (l *Library) callPort(t *kern.Thread, svc *kern.Port, m kern.Msg) (kern.Msg, error) {
 	m.ID = l.nextReqID()
 	timeout := rpcBaseTimeout
 	for attempt := 0; attempt < rpcAttempts; attempt++ {
-		if reply, ok := l.reg.Svc.CallTimeout(t, m, timeout); ok {
+		p := svc
+		if p == nil {
+			p = l.svcDefault()
+		}
+		if reply, ok := p.CallTimeout(t, m, timeout); ok {
 			return reply, nil
 		}
 		if attempt < rpcAttempts-1 {
@@ -110,23 +147,119 @@ func (l *Library) callRegistry(t *kern.Thread, m kern.Msg) (kern.Msg, error) {
 	return kern.Msg{}, stacks.ErrRegistryUnavailable
 }
 
+// svcDefault returns the default control port: the lone registry, or in
+// federation mode the datagram-plane shard (0) with live failover.
+func (l *Library) svcDefault() *kern.Port {
+	if l.meta == nil {
+		return l.reg.Svc
+	}
+	return l.meta.Svc(l.meta.Route(0))
+}
+
+// svcOwner returns the control port of the shard that owns a tuple,
+// failing over to the next live shard while the owner is down.
+func (l *Library) svcOwner(local, peer tcp.Endpoint) *kern.Port {
+	if l.meta == nil {
+		return l.reg.Svc
+	}
+	return l.meta.Svc(l.meta.OwnerOrSuccessor(local, peer))
+}
+
 // NewLibrary links the protocol library into an application domain.
 func NewLibrary(s *sim.Sim, app *kern.Domain, reg *registry.Server) *Library {
+	l := newLibrary(s, app)
+	l.reg = reg
+	l.nif = reg.Netif()
+	l.mod = l.nif.Mod
+	l.busFn = reg.Bus
+	l.spawnTimers()
+	return l
+}
+
+// NewLibraryFed links the protocol library against a sharded registry: the
+// library routes control RPCs through the metaregistry index and coalesces
+// them into per-tick batches on a dedicated batcher thread.
+func NewLibraryFed(s *sim.Sim, app *kern.Domain, fed *registry.Federation) *Library {
+	l := newLibrary(s, app)
+	l.meta = fed.Meta()
+	l.nif = fed.Netif()
+	l.mod = l.nif.Mod
+	l.busFn = func() *trace.Bus { return fed.Shard(0).Bus() }
+	l.batchq = sim.NewQueue[batchItem](s)
+	app.Spawn("lib-batch", l.batcher)
+	l.spawnTimers()
+	return l
+}
+
+func newLibrary(s *sim.Sim, app *kern.Domain) *Library {
 	h := fnv.New64a()
 	h.Write([]byte(app.String()))
-	l := &Library{
+	return &Library{
 		s:       s,
 		host:    app.Host,
 		app:     app,
-		reg:     reg,
-		mod:     reg.Netif().Mod,
 		conns:   make(map[*Conn]struct{}),
 		backoff: stacks.NewBackoff(seedFrom(app.Host.Name), rpcBaseTimeout/2, rpcTimeoutCap),
 		idBase:  h.Sum64() &^ 0xFFFFF, // low 20 bits carry the counter
 	}
-	app.Spawn("lib-fast", l.fastTimer)
-	app.Spawn("lib-slow", l.slowTimer)
-	return l
+}
+
+func (l *Library) spawnTimers() {
+	l.app.Spawn("lib-fast", l.fastTimer)
+	l.app.Spawn("lib-slow", l.slowTimer)
+}
+
+// batchItem is one control request queued for coalescing.
+type batchItem struct {
+	svc *kern.Port
+	m   kern.Msg
+}
+
+// enqueue hands a control request to the batcher. Callable from engine
+// context (a queue push has no cost and never blocks).
+func (l *Library) enqueue(svc *kern.Port, m kern.Msg) {
+	l.batchq.Push(batchItem{svc: svc, m: m})
+}
+
+// batcher coalesces the control requests issued within one window into a
+// single kernel IPC per destination shard: under churn, the per-request
+// Mach IPC + context-switch cost is paid once per batch instead of once
+// per request. Arrival order is preserved within and across batches.
+func (l *Library) batcher(t *kern.Thread) {
+	for {
+		first := l.batchq.Pop(t.Proc)
+		t.Sleep(batchWindow)
+		items := []batchItem{first}
+		for {
+			it, ok := l.batchq.TryPop()
+			if !ok {
+				break
+			}
+			items = append(items, it)
+		}
+		// Group by destination shard in arrival order (first-seen shard
+		// flushes first — deterministic, no map iteration).
+		for len(items) > 0 {
+			svc := items[0].svc
+			var msgs []kern.Msg
+			var rest []batchItem
+			size := 0
+			for _, it := range items {
+				if it.svc == svc {
+					msgs = append(msgs, it.m)
+					size += it.m.Size
+				} else {
+					rest = append(rest, it)
+				}
+			}
+			if len(msgs) == 1 {
+				svc.Send(t, msgs[0])
+			} else {
+				svc.Send(t, kern.Msg{Op: "batch", Size: size, Body: kern.Batch{Msgs: msgs}})
+			}
+			items = rest
+		}
+	}
 }
 
 // seedFrom derives a per-host jitter seed so retry schedules differ across
@@ -178,7 +311,14 @@ func (l *Library) EnableTimerWheel() {
 // registry, then adopt the established connection.
 func (l *Library) Connect(t *kern.Thread, remote tcp.Endpoint, opts stacks.Options) (stacks.Conn, error) {
 	t.Compute(t.Cost().ProcCall)
-	reply, err := l.callRegistry(t, kern.Msg{Op: "connect", Body: registry.ConnectReq{Remote: remote, Opts: opts, Owner: l.app}})
+	req := registry.ConnectReq{Remote: remote, Opts: opts, Owner: l.app}
+	var reply kern.Msg
+	var err error
+	if l.meta != nil {
+		reply, err = l.connectFed(t, req)
+	} else {
+		reply, err = l.callRegistry(t, kern.Msg{Op: "connect", Body: req})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +332,46 @@ func (l *Library) Connect(t *kern.Thread, remote tcp.Endpoint, opts stacks.Optio
 	return l.adopt(t, ho, opts), nil
 }
 
+// connectFed routes an active open through the federation: round-robin over
+// live shards (re-picked per retry, so a crashed shard's retries fail over),
+// the request riding the coalesced batch path with a private reply port per
+// attempt. A quota denial is retried as a fresh request under backoff — the
+// denied attempt executed nothing, and reusing its id would only replay the
+// cached denial.
+func (l *Library) connectFed(t *kern.Thread, req registry.ConnectReq) (kern.Msg, error) {
+	id := l.nextReqID()
+	timeout := rpcBaseTimeout
+	denied := 0
+	for attempt := 0; attempt < rpcAttempts; {
+		shard := l.meta.Route(l.rr)
+		l.rr++
+		replyPort := kern.NewPort(l.host, "connect-reply")
+		l.enqueue(l.meta.Svc(shard),
+			kern.Msg{Op: "connect", ID: id, Reply: replyPort, Body: req})
+		m, ok := replyPort.ReceiveTimeout(t, timeout)
+		if ok {
+			if ho, isHo := m.Body.(registry.Handoff); isHo && ho.Err == stacks.ErrAdmissionDenied {
+				denied++
+				if denied > admissionRetries {
+					return m, nil // surface the denial to the application
+				}
+				id = l.nextReqID()
+				t.Sleep(l.backoff.Next(denied - 1))
+				continue // denied retries do not burn the deadline budget
+			}
+			return m, nil
+		}
+		attempt++
+		if attempt < rpcAttempts {
+			t.Sleep(l.backoff.Next(attempt - 1))
+		}
+		if timeout < rpcTimeoutCap {
+			timeout *= 2
+		}
+	}
+	return kern.Msg{}, stacks.ErrRegistryUnavailable
+}
+
 // Listener is the library side of a passive open.
 type Listener struct {
 	lib    *Library
@@ -200,11 +380,42 @@ type Listener struct {
 	accept *kern.Port
 }
 
-// Listen implements stacks.Stack.
+// Listen implements stacks.Stack. In federation mode the listener is
+// replicated to every live shard — a passive tuple's handshake runs on the
+// shard its hash selects, and any shard must be able to answer a SYN — so
+// the effective backlog is per shard (N× the single-registry bound).
 func (l *Library) Listen(t *kern.Thread, port uint16, opts stacks.Options) (stacks.Listener, error) {
 	t.Compute(t.Cost().ProcCall)
 	acceptPort := kern.NewPort(l.host, "accept")
-	reply, err := l.callRegistry(t, kern.Msg{Op: "listen", Body: registry.ListenReq{Port: port, Opts: opts, AcceptPort: acceptPort, Owner: l.app}})
+	req := registry.ListenReq{Port: port, Opts: opts, AcceptPort: acceptPort, Owner: l.app}
+	if l.meta != nil {
+		var firstErr error
+		n := 0
+		for i := 0; i < l.meta.Shards(); i++ {
+			if !l.meta.Live(i) {
+				continue // the restarted shard re-replicates from a survivor
+			}
+			reply, err := l.callPort(t, l.meta.Svc(i), kern.Msg{Op: "listen", Body: req})
+			if err == nil {
+				err, _ = reply.Body.(error)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			n++
+		}
+		if n == 0 {
+			if firstErr == nil {
+				firstErr = stacks.ErrRegistryUnavailable
+			}
+			return nil, firstErr
+		}
+		return &Listener{lib: l, port: port, opts: opts, accept: acceptPort}, nil
+	}
+	reply, err := l.callRegistry(t, kern.Msg{Op: "listen", Body: req})
 	if err != nil {
 		return nil, err
 	}
@@ -227,10 +438,22 @@ func (ln *Listener) Accept(t *kern.Thread) (stacks.Conn, error) {
 }
 
 // Close stops listening. A registry that has become unavailable is
-// tolerated: the endpoint is abandoned and reclaimed by crash cleanup.
+// tolerated: the endpoint is abandoned and reclaimed by crash cleanup. In
+// federation mode the unlisten is broadcast to every live shard, mirroring
+// the replicated listen.
 func (ln *Listener) Close(t *kern.Thread) {
 	t.Compute(t.Cost().ProcCall)
-	_, _ = ln.lib.callRegistry(t, kern.Msg{Op: "unlisten", Body: registry.UnlistenReq{Port: ln.port}})
+	l := ln.lib
+	m := kern.Msg{Op: "unlisten", Body: registry.UnlistenReq{Port: ln.port}}
+	if l.meta != nil {
+		for i := 0; i < l.meta.Shards(); i++ {
+			if l.meta.Live(i) {
+				_, _ = l.callPort(t, l.meta.Svc(i), m)
+			}
+		}
+		return
+	}
+	_, _ = l.callRegistry(t, m)
 }
 
 // adopt turns a registry handoff into a live library connection.
@@ -246,7 +469,7 @@ func (l *Library) adopt(t *kern.Thread, ho registry.Handoff, opts stacks.Options
 	}
 	tc := tcp.Restore(ho.Snap, tcp.Callbacks{})
 	c.tc = tc
-	if bus := l.reg.Bus(); bus.Enabled() {
+	if bus := l.busFn(); bus.Enabled() {
 		tc.SetTrace(bus, l.app.String()+" "+tc.Local().String()+">"+tc.Peer().String())
 	}
 	sock := stacks.NewSock(l.s, tc)
@@ -293,11 +516,11 @@ func (c *Conn) transmit(seg *stacks.Seg) {
 		Proto: ipv4.ProtoTCP, Src: c.tc.Local().IP, Dst: c.tc.Peer().IP,
 	}
 	ih.Encode(seg.Buf)
-	if c.lib.reg.Netif().IsAN1() {
-		lh := link.AN1Header{Dst: c.peerHW, Src: c.lib.reg.Netif().HW, BQI: c.peerBQI, Type: link.TypeIPv4}
+	if c.lib.nif.IsAN1() {
+		lh := link.AN1Header{Dst: c.peerHW, Src: c.lib.nif.HW, BQI: c.peerBQI, Type: link.TypeIPv4}
 		lh.Encode(seg.Buf)
 	} else {
-		lh := link.EthHeader{Dst: c.peerHW, Src: c.lib.reg.Netif().HW, Type: link.TypeIPv4}
+		lh := link.EthHeader{Dst: c.peerHW, Src: c.lib.nif.HW, Type: link.TypeIPv4}
 		lh.Encode(seg.Buf)
 	}
 	// Template violations cannot happen from this code path; a buggy or
@@ -353,7 +576,7 @@ func (l *Library) reregisterAll(t *kern.Thread) bool {
 			SndNxt: snap.SndNxt, RcvNxt: snap.RcvNxt,
 			Owner: l.app,
 		}}
-		reply, ok := l.reg.Svc.CallTimeout(t, m, rpcBaseTimeout)
+		reply, ok := l.svcOwner(c.tc.Local(), c.tc.Peer()).CallTimeout(t, m, rpcBaseTimeout)
 		if !ok {
 			return false
 		}
@@ -441,7 +664,7 @@ func (c *Conn) inputThread(t *kern.Thread) {
 func (c *Conn) inputFrame(t *kern.Thread, b *pkt.Buf) {
 	defer b.Release()
 	var et link.EtherType
-	if c.lib.reg.Netif().IsAN1() {
+	if c.lib.nif.IsAN1() {
 		h, err := link.DecodeAN1(b)
 		if err != nil {
 			return
@@ -486,15 +709,23 @@ func (c *Conn) runEngine(t *kern.Thread, fn func()) {
 }
 
 // teardown releases registry-held resources once the engine fully closes.
+// Fire-and-forget; in federation mode it is routed to the owning shard and
+// rides the coalesced batch path.
 func (c *Conn) teardown() {
 	c.done = true
 	c.ch.Poke()
-	delete(c.lib.conns, c)
-	c.lib.wheel.Drop(c.went)
-	c.lib.reg.Svc.SendAsync(kern.Msg{Op: "teardown", ID: c.lib.nextReqID(),
+	l := c.lib
+	delete(l.conns, c)
+	l.wheel.Drop(c.went)
+	m := kern.Msg{Op: "teardown", ID: l.nextReqID(),
 		Body: registry.TeardownReq{
 			Local: c.tc.Local(), Peer: c.tc.Peer(), Cap: c.cap,
-		}})
+		}}
+	if l.meta != nil {
+		l.enqueue(l.svcOwner(c.tc.Local(), c.tc.Peer()), m)
+		return
+	}
+	l.reg.Svc.SendAsync(m)
 }
 
 // Read implements stacks.Conn.
@@ -539,7 +770,7 @@ func (l *Library) Exit(t *kern.Thread, abnormal bool) {
 		l.wheel.Drop(c.went)
 		snap := c.tc.Snapshot()
 		c.tc.SetCallbacks(tcp.Callbacks{}) // detach: the registry owns it now
-		l.reg.Svc.Send(t, kern.Msg{
+		l.svcOwner(c.tc.Local(), c.tc.Peer()).Send(t, kern.Msg{
 			Op:   "inherit",
 			ID:   l.nextReqID(),
 			Size: snap.Size(),

@@ -49,7 +49,7 @@ func (l *Library) BindUDP(t *kern.Thread, port uint16) (*UDPConn, error) {
 		lib:   l,
 		cap:   ho.Cap,
 		ch:    ho.Channel,
-		local: udp.Endpoint{IP: l.reg.Netif().IP, Port: port},
+		local: udp.Endpoint{IP: l.nif.IP, Port: port},
 		peers: make(map[ipv4.Addr]link.Addr),
 	}, nil
 }
@@ -83,12 +83,12 @@ func (u *UDPConn) Resolve(t *kern.Thread, ip ipv4.Addr) error {
 // library path does not fragment; the paper's request-response workloads
 // are small).
 func (u *UDPConn) maxDatagram() int {
-	return u.lib.reg.Netif().Mod.Device().MTU() - ipv4.HeaderLen - udp.HeaderLen
+	return u.lib.nif.Mod.Device().MTU() - ipv4.HeaderLen - udp.HeaderLen
 }
 
 // buildFrame assembles the complete link frame for a datagram.
 func (u *UDPConn) buildFrame(dst udp.Endpoint, hw link.Addr, payload []byte) *pkt.Buf {
-	nif := u.lib.reg.Netif()
+	nif := u.lib.nif
 	b := pkt.FromBytes(nif.Headroom()+udp.HeaderLen, payload)
 	uh := udp.Header{SrcPort: u.local.Port, DstPort: dst.Port}
 	uh.Encode(b, u.local.IP, dst.IP)
@@ -169,7 +169,7 @@ func (u *UDPConn) Recv(t *kern.Thread) udp.Datagram {
 
 // parse decodes a channel frame into a datagram.
 func (u *UDPConn) parse(b *pkt.Buf) (udp.Datagram, bool) {
-	nif := u.lib.reg.Netif()
+	nif := u.lib.nif
 	if nif.IsAN1() {
 		if _, err := link.DecodeAN1(b); err != nil {
 			return udp.Datagram{}, false
@@ -196,5 +196,5 @@ func (u *UDPConn) parse(b *pkt.Buf) (udp.Datagram, bool) {
 // Close releases the end-point.
 func (u *UDPConn) Close(t *kern.Thread) {
 	t.Compute(t.Cost().ProcCall)
-	u.lib.reg.Svc.Send(t, kern.Msg{Op: "unbind-udp", Body: registry.UnbindUDPReq{Port: u.local.Port, Cap: u.cap}})
+	u.lib.svcDefault().Send(t, kern.Msg{Op: "unbind-udp", Body: registry.UnbindUDPReq{Port: u.local.Port, Cap: u.cap}})
 }

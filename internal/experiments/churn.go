@@ -36,6 +36,11 @@ type ChurnConfig struct {
 	// wheels, and a wide ephemeral range. Off = the classic two-host
 	// configuration scaled up as-is.
 	FastPath bool
+	// Shards federates each host's registry into this many shards, each
+	// pinned to its own CPU and owning a static slice of the port space
+	// (0 or 1 = the single-registry control plane). Connection setup is
+	// registry-CPU bound, so this is the knob that lifts the setup rate.
+	Shards int
 	// ZeroCopyRx delivers received frames by reference (refcounted pool
 	// buffers plus ring descriptors) instead of modeling the per-byte
 	// kernel→region copy.
@@ -92,6 +97,9 @@ func Churn(cfg ChurnConfig) ChurnResult {
 		ucfg.Switch = &wire.SwitchConfig{Latency: time.Microsecond}
 		ucfg.TimerWheel = true
 		ucfg.EphemeralLo, ucfg.EphemeralHi = 1024, 60000
+	}
+	if cfg.Shards >= 2 {
+		ucfg.RegistryShards = cfg.Shards
 	}
 	ucfg.ZeroCopyRx = cfg.ZeroCopyRx
 	w := ulp.NewWorld(ucfg)

@@ -48,6 +48,13 @@ func (h *Host) ComputeAsync(d time.Duration, fn func()) {
 	h.CPU.UseAsync(d, fn)
 }
 
+// NewCPU adds an auxiliary processing resource to the host — a core a
+// pinned domain computes on instead of the main CPU (multiprocessor hosts;
+// the sharded control plane runs one registry shard per core).
+func (h *Host) NewCPU(name string) *sim.Resource {
+	return h.S.NewResource(h.Name + "." + name)
+}
+
 // Domain is an address space: the kernel, a server, or an application.
 type Domain struct {
 	Host       *Host
@@ -57,6 +64,27 @@ type Domain struct {
 	threads    []*Thread
 	dead       bool
 	deathHooks []func()
+	cpu        *sim.Resource // non-nil: threads compute here, not Host.CPU
+}
+
+// PinCPU dedicates a processing resource to the domain: every Compute by
+// the domain's threads charges this resource instead of the host's main
+// CPU, so pinned domains on one host run their work in parallel. Costs
+// charged by other domains on the same host are unaffected.
+func (d *Domain) PinCPU(cpu *sim.Resource) { d.cpu = cpu }
+
+// CPU returns the resource the domain's threads compute on.
+func (d *Domain) CPU() *sim.Resource {
+	if d.cpu != nil {
+		return d.cpu
+	}
+	return d.Host.CPU
+}
+
+// ComputeAsync charges dur of CPU on the domain's compute resource from
+// event context (the pinned-core analogue of Host.ComputeAsync).
+func (d *Domain) ComputeAsync(dur time.Duration, fn func()) {
+	d.CPU().UseAsync(dur, fn)
 }
 
 func (d *Domain) String() string { return d.Host.Name + "/" + d.Name }
@@ -124,10 +152,11 @@ func (d *Domain) Kill() {
 // Dead reports whether the domain has been killed.
 func (d *Domain) Dead() bool { return d.dead }
 
-// Compute charges d of CPU time to the host on behalf of the thread,
-// blocking through any queueing delay.
+// Compute charges d of CPU time on behalf of the thread — to the host CPU,
+// or to the domain's pinned core if one was dedicated — blocking through
+// any queueing delay.
 func (t *Thread) Compute(d time.Duration) {
-	t.Dom.Host.CPU.Use(t.Proc, d)
+	t.Dom.CPU().Use(t.Proc, d)
 }
 
 // Cost returns the host's cost model.
@@ -220,6 +249,16 @@ type Msg struct {
 	ID uint64
 }
 
+// Batch is a coalesced control-plane message: several requests carried by
+// one IPC. The sender pays one Send for the whole batch; appending a
+// request to a forming batch is modelled free (a shared-memory write next
+// to the single IPC that carries it). The receiver dispatches each inner
+// message — each with its own ID and Reply port — in order, as if they had
+// arrived back to back.
+type Batch struct {
+	Msgs []Msg
+}
+
 // Port is a Mach-style message port: a kernel-protected queue with send and
 // receive rights. Sends charge the one-way IPC cost plus in-line data copy;
 // the receiver side charges the context switch upon wakeup (modelled at
@@ -278,6 +317,20 @@ func (p *Port) CallTimeout(t *Thread, m Msg, d time.Duration) (Msg, bool) {
 	m.Reply = reply
 	p.Send(t, m)
 	r, ok := reply.q.PopTimeout(t.Proc, d)
+	if !ok {
+		return Msg{}, false
+	}
+	c := t.Cost()
+	t.Compute(c.MachIPCSend + c.Copy(r.Size) + c.ContextSwitch)
+	return r, true
+}
+
+// ReceiveTimeout blocks for a message at most d of virtual time, reporting
+// false if none arrived. On success it charges the receive-side IPC costs,
+// like Call's reply path — callers waiting on a caller-owned reply port
+// (batched RPCs) pay what a plain Call would have.
+func (p *Port) ReceiveTimeout(t *Thread, d time.Duration) (Msg, bool) {
+	r, ok := p.q.PopTimeout(t.Proc, d)
 	if !ok {
 		return Msg{}, false
 	}

@@ -126,6 +126,12 @@ type Capability struct {
 	// owner is the application domain the capability was issued to; the
 	// module uses it to reclaim everything a crashed application held.
 	owner *kern.Domain
+	// issuer is the control-plane domain that created (or re-adopted) the
+	// capability. Issuer-scoped lease renewal lets several registry shards
+	// share one module: each shard's heartbeat extends only the leases it
+	// is responsible for, so a dead shard's endpoints expire on schedule
+	// while its peers' stay fresh.
+	issuer *kern.Domain
 }
 
 // Owner returns the application domain the capability was issued to (nil
@@ -746,7 +752,7 @@ func (m *Module) CreateChannel(from *kern.Domain, spec filter.Spec, tmpl Templat
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(&spec, spec.Compile(), tmpl, ringSize, 0)
+	return m.createChannel(from, &spec, spec.Compile(), tmpl, ringSize, 0)
 }
 
 // CreateChannelBQI is CreateChannel with a previously reserved BQI.
@@ -754,7 +760,7 @@ func (m *Module) CreateChannelBQI(from *kern.Domain, spec filter.Spec, tmpl Temp
 	if !from.Privileged {
 		return nil, nil, fmt.Errorf("netio: channel creation from unprivileged domain %s", from)
 	}
-	return m.createChannel(&spec, spec.Compile(), tmpl, ringSize, bqi)
+	return m.createChannel(from, &spec, spec.Compile(), tmpl, ringSize, bqi)
 }
 
 // CreateRawChannel builds a channel demultiplexed by EtherType alone, for
@@ -772,7 +778,7 @@ func (m *Module) CreateRawChannel(from *kern.Domain, et link.EtherType, tmpl Tem
 		}
 		return link.EtherType(uint16(frame[hdrLen-2])<<8|uint16(frame[hdrLen-1])) == et
 	}
-	return m.createChannel(nil, match, tmpl, ringSize, 0)
+	return m.createChannel(from, nil, match, tmpl, ringSize, 0)
 }
 
 // createChannel installs the channel. spec, when non-nil, describes the
@@ -780,7 +786,7 @@ func (m *Module) CreateRawChannel(from *kern.Domain, et link.EtherType, tmpl Tem
 // key; match is the compiled predicate used when it cannot (raw channels,
 // partial wildcards, or a key collision — the colliding entry chains
 // behind the steered one, preserving first-installed-wins order).
-func (m *Module) createChannel(spec *filter.Spec, match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
+func (m *Module) createChannel(from *kern.Domain, spec *filter.Spec, match func([]byte) bool, tmpl Template, ringSize int, reservedBQI uint16) (*Capability, *Channel, error) {
 	if m.FailSetup != nil {
 		if err := m.FailSetup("create"); err != nil {
 			return nil, nil, err
@@ -801,7 +807,7 @@ func (m *Module) createChannel(spec *filter.Spec, match func([]byte) bool, tmpl 
 	if ch.budget <= 0 {
 		ch.budget = 8
 	}
-	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch}
+	cap := &Capability{id: m.nextCapID, template: tmpl, ch: ch, issuer: from}
 	m.nextCapID++
 	ch.id = cap.id
 	m.caps[cap.id] = cap
@@ -943,6 +949,47 @@ func (m *Module) RenewLeases(from *kern.Domain) (int, error) {
 	}
 	return m.leases.RenewAll(), nil
 }
+
+// RenewLeasesIssued extends only the leases of capabilities issued by (or
+// reassigned to) the given domain — the per-shard heartbeat of a sharded
+// control plane. A dead shard stops calling this, its endpoints' leases
+// expire and quarantine, and the libraries migrate them to a live shard;
+// the other shards' endpoints never miss a beat. Returns how many leases
+// were extended.
+func (m *Module) RenewLeasesIssued(from *kern.Domain) (int, error) {
+	if !from.Privileged {
+		return 0, fmt.Errorf("netio: lease renewal from unprivileged domain %s", from)
+	}
+	if m.leases == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, cap := range m.caps {
+		if cap.issuer == from {
+			m.leases.Renew(cap.id)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Reissue reassigns a capability's issuer: the shard that adopts an
+// endpoint after a migration (re-registration, rebuild) takes over its
+// lease renewal.
+func (m *Module) Reissue(from *kern.Domain, cap *Capability) error {
+	if !from.Privileged {
+		return fmt.Errorf("netio: reissue from unprivileged domain %s", from)
+	}
+	if cap == nil || m.caps[cap.id] != cap {
+		return ErrBadCapability
+	}
+	cap.issuer = from
+	return nil
+}
+
+// Issuer returns the control-plane domain currently responsible for
+// renewing the capability's lease.
+func (c *Capability) Issuer() *kern.Domain { return c.issuer }
 
 // RenewLease extends one capability's lease (re-registration of a single
 // endpoint by a reborn registry).

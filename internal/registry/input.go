@@ -164,7 +164,12 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 		r.attach(tc, hc)
 		tc.OpenListen()
 		if err := r.owned.Insert(tc); err != nil {
-			delete(r.conns, tc) // duplicate tuple: drop, don't leak the entry
+			// Duplicate tuple: drop, and unwind everything attach and the
+			// BQI reservation allocated — the wheel entry and ring index
+			// would otherwise leak on every colliding SYN.
+			delete(r.conns, tc)
+			r.wheel.Drop(hc.went)
+			r.dropBQI(hc)
 			return
 		}
 		l.pending++
@@ -173,7 +178,13 @@ func (r *Server) inputTCP(t *kern.Thread, h ipv4.Header, data []byte, advBQI uin
 		return
 	}
 
-	// No endpoint: reset.
+	// No endpoint: reset. A federation shard only resets tuples it
+	// authoritatively owns — a stray steered here because its owner shard
+	// is down must be dropped, not answered: the connection it belongs to
+	// is alive in some library, and an RST from a non-owner would kill it.
+	if r.fed != nil && !r.fed.authoritative(r, local, peer) {
+		return
+	}
 	if rst, rb := tcp.MakeRST(th, seg.Len(), r.nif.Headroom(), local, peer); rst != nil {
 		r.nif.WrapIP(rb, ipv4.ProtoTCP, peer.IP)
 		r.resolveAndSend(t, rb, peer.IP, 0, 0)

@@ -22,6 +22,7 @@
 package registry
 
 import (
+	"fmt"
 	"time"
 
 	"ulp/internal/chaos"
@@ -121,6 +122,9 @@ type hsConn struct {
 	// inBacklog marks a passive pcb counted against its listener's
 	// backlog, so exactly one decrement happens on handoff or failure.
 	inBacklog bool
+	// admitted marks a setup counted against its owner's admission quota
+	// (federation mode), so exactly one release happens on every exit path.
+	admitted bool
 }
 
 // listener is a registered passive endpoint.
@@ -219,6 +223,14 @@ type Server struct {
 	// bus receives RegistryRPC events and is handed to every TCP engine
 	// the server creates. Nil-safe.
 	bus *trace.Bus
+
+	// fed/shardIdx are set when this server is one shard of a federation:
+	// it owns a static slice of the port space, shares the Netif with its
+	// sibling shards, renews only the leases it issued, and runs its
+	// threads on a pinned per-shard CPU. Nil fed is the classic
+	// single-server registry.
+	fed      *Federation
+	shardIdx int
 }
 
 // SetTrace attaches the trace bus. Connections created afterwards inherit
@@ -276,7 +288,7 @@ const (
 
 // New starts a registry server over a host's network I/O module.
 func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
-	return newServer(s, mod, ip, nil)
+	return newServer(s, mod, ip, nil, nil)
 }
 
 // Restart boots a fresh registry over the same module after a crash. The
@@ -286,10 +298,21 @@ func New(s *sim.Sim, mod *netio.Module, ip ipv4.Addr) *Server {
 // new server. Port table and connection map are rebuilt from the module's
 // installed header templates before the first request is served.
 func Restart(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Server {
-	return newServer(s, mod, ip, prev)
+	return newServer(s, mod, ip, prev, nil)
 }
 
-func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Server {
+// shardOpts carries the federation-specific construction parameters of one
+// shard: its index, the shared interface wiring, the pinned CPU its domain
+// computes on, and the static slice of the ephemeral port space it owns.
+type shardOpts struct {
+	fed    *Federation
+	index  int
+	nif    *stacks.Netif
+	cpu    *sim.Resource
+	lo, hi uint16
+}
+
+func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server, so *shardOpts) *Server {
 	r := &Server{
 		host:        mod.Device().Host(),
 		nif:         stacks.NewNetif(s, mod, ip),
@@ -304,6 +327,19 @@ func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Serve
 		watched:     make(map[*kern.Domain]bool),
 		reqCache:    make(map[uint64]*pendingReq),
 		epoch:       1,
+	}
+	domName := "registry"
+	if so != nil {
+		// Federation shard: share one Netif (ARP cache, reassembly) with the
+		// sibling shards, own a static slice of the ephemeral port space, and
+		// perturb the ISS base per shard so concurrent actives from different
+		// shards start in distinct sequence regions.
+		r.fed = so.fed
+		r.shardIdx = so.index
+		r.nif = so.nif
+		r.ports = tcp.NewPortAllocRange(so.lo, so.hi)
+		r.iss += tcp.Seq(1000003 * uint32(so.index))
+		domName = fmt.Sprintf("registry%d", so.index)
 	}
 	if prev != nil {
 		r.epoch = prev.epoch + 1
@@ -322,18 +358,25 @@ func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Serve
 		// was using.
 		r.iss += tcp.Seq(250007 * uint32(r.epoch-1))
 	} else {
-		r.Svc = kern.NewPort(r.host, "registry")
+		r.Svc = kern.NewPort(r.host, domName)
 	}
-	r.dom = r.host.NewDomain("registry", true)
+	r.dom = r.host.NewDomain(domName, true)
+	if so != nil {
+		r.dom.PinCPU(so.cpu)
+	}
 	r.lock = s.NewSemaphore("registry-engine", 1)
 	r.rxq = sim.NewQueue[*pkt.Buf](s)
 	mod.EnableLeases(LeaseTTL)
-	mod.SetDefaultHandler(func(b *pkt.Buf) {
-		if r.rxq.Len() == 0 {
-			r.host.ComputeAsync(r.host.Cost.KernelWakeup, nil)
-		}
-		r.rxq.Push(b)
-	})
+	if so == nil {
+		// The federation owns the default handler (it steers frames to the
+		// authoritative shard); a lone registry claims it directly.
+		mod.SetDefaultHandler(func(b *pkt.Buf) {
+			if r.rxq.Len() == 0 {
+				r.host.ComputeAsync(r.host.Cost.KernelWakeup, nil)
+			}
+			r.rxq.Push(b)
+		})
+	}
 	r.dom.Spawn("service", r.serviceLoop)
 	r.dom.Spawn("input", r.inputLoop)
 	r.dom.Spawn("tcp-fast", r.fastTimer)
@@ -342,14 +385,20 @@ func newServer(s *sim.Sim, mod *netio.Module, ip ipv4.Addr, prev *Server) *Serve
 	return r
 }
 
-// leaseHeartbeat renews every capability lease the module tracks. It
-// charges no CPU: the renewal models a kernel-side table write whose cost
-// is negligible next to the IPC-heavy control path, and keeping it free
-// leaves the fault-free experiment timings untouched.
+// leaseHeartbeat renews every capability lease the module tracks — or, for
+// a federation shard, only the leases this shard issued, so a crashed
+// sibling's endpoints expire (and migrate) instead of being kept alive by
+// the survivors. It charges no CPU: the renewal models a kernel-side table
+// write whose cost is negligible next to the IPC-heavy control path, and
+// keeping it free leaves the fault-free experiment timings untouched.
 func (r *Server) leaseHeartbeat(t *kern.Thread) {
 	for {
 		t.Sleep(LeaseHeartbeat)
-		_, _ = r.nif.Mod.RenewLeases(r.dom)
+		if r.fed != nil {
+			_, _ = r.nif.Mod.RenewLeasesIssued(r.dom)
+		} else {
+			_, _ = r.nif.Mod.RenewLeases(r.dom)
+		}
 	}
 }
 
@@ -408,69 +457,94 @@ func (r *Server) serviceLoop(t *kern.Thread) {
 			r.handleCrash(t, cr.dom)
 			continue
 		}
-		if r.bus.Enabled() {
-			r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name, Text: m.Op})
-		}
-		if r.faults.DropRequest() {
-			continue // the library's RPC never gets a reply
-		}
-		if d := r.faults.RequestDelay(); d > 0 {
-			t.Sleep(d)
-		}
-		// Request-ID dedup: a retry of a request already seen must not
-		// execute twice — a re-run Connect would allocate a second port and
-		// run a second handshake. Completed requests replay the cached
-		// reply (the original's was lost with its abandoned reply port);
-		// retries of an in-flight connect retarget the eventual handoff.
-		if m.ID != 0 {
-			if e, ok := r.reqCache[m.ID]; ok {
-				r.dedupHits++
-				if r.bus.Enabled() {
-					r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name,
-						Text: m.Op + "-dup"})
-				}
-				if e.done {
-					if m.Reply != nil {
-						m.ReplyTo(t, e.reply)
-					}
-				} else if e.hc != nil {
-					e.hc.reply = m.Reply
-				}
-				continue
+		if batch, ok := m.Body.(kern.Batch); ok {
+			// A coalesced control-plane batch: one IPC carried several
+			// requests, each with its own id and reply port. Dispatch them
+			// in order as if they had arrived back to back.
+			for _, bm := range batch.Msgs {
+				r.dispatch(t, bm)
 			}
-			r.track(m.ID)
+			continue
 		}
-		switch req := m.Body.(type) {
-		case ConnectReq:
-			r.handleConnect(t, m, req)
-		case ListenReq:
-			r.handleListen(t, m, req)
-		case UnlistenReq:
-			r.handleUnlisten(t, m, req)
-		case InheritReq:
-			r.handleInherit(t, req)
-		case TeardownReq:
-			r.handleTeardown(t, req)
-		case ReRegisterReq:
-			r.handleReRegister(t, m, req)
-		case BindUDPReq:
-			r.handleBindUDP(t, m, req)
-		case ResolveReq:
-			r.handleResolve(t, m, req)
-		case UDPSendReq:
-			r.handleUDPSend(t, m, req)
-		case UnbindUDPReq:
-			r.handleUnbindUDP(t, req)
+		r.dispatch(t, m)
+	}
+}
+
+// dispatch runs one control-plane request through fault injection, the
+// request-ID dedup cache, and the handler switch.
+func (r *Server) dispatch(t *kern.Thread, m kern.Msg) {
+	if r.bus.Enabled() {
+		r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name, Text: m.Op})
+	}
+	if r.faults.DropRequest() {
+		return // the library's RPC never gets a reply
+	}
+	if d := r.faults.RequestDelay(); d > 0 {
+		t.Sleep(d)
+	}
+	// Request-ID dedup: a retry of a request already seen must not
+	// execute twice — a re-run Connect would allocate a second port and
+	// run a second handshake. Completed requests replay the cached
+	// reply (the original's was lost with its abandoned reply port);
+	// retries of an in-flight connect retarget the eventual handoff.
+	if m.ID != 0 {
+		if e, ok := r.reqCache[m.ID]; ok {
+			r.dedupHits++
+			if r.bus.Enabled() {
+				r.bus.Emit(trace.Event{Kind: trace.RegistryRPC, Node: r.host.Name,
+					Text: m.Op + "-dup"})
+			}
+			if e.done {
+				if m.Reply != nil {
+					m.ReplyTo(t, e.reply)
+				}
+			} else if e.hc != nil {
+				e.hc.reply = m.Reply
+			}
+			return
 		}
+		r.track(m.ID)
+	}
+	switch req := m.Body.(type) {
+	case ConnectReq:
+		r.handleConnect(t, m, req)
+	case ListenReq:
+		r.handleListen(t, m, req)
+	case UnlistenReq:
+		r.handleUnlisten(t, m, req)
+	case InheritReq:
+		r.handleInherit(t, req)
+	case TeardownReq:
+		r.handleTeardown(t, req)
+	case ReRegisterReq:
+		r.handleReRegister(t, m, req)
+	case BindUDPReq:
+		r.handleBindUDP(t, m, req)
+	case ResolveReq:
+		r.handleResolve(t, m, req)
+	case UDPSendReq:
+		r.handleUDPSend(t, m, req)
+	case UnbindUDPReq:
+		r.handleUnbindUDP(t, req)
 	}
 }
 
 // track inserts an empty dedup entry for a request id, evicting the oldest
-// entry beyond the cache bound.
+// *completed* entry beyond the cache bound. An entry whose reply is not yet
+// cached is never evicted: dropping it would let a retry of that request
+// re-execute a non-idempotent connect — a second port allocation and a
+// second handshake for one logical open. If every tracked entry is still in
+// flight the cache grows past dedupCap temporarily; the admission layer
+// bounds how many setups can be outstanding at once.
 func (r *Server) track(id uint64) {
 	if len(r.reqOrder) >= dedupCap {
-		delete(r.reqCache, r.reqOrder[0])
-		r.reqOrder = r.reqOrder[1:]
+		for i, old := range r.reqOrder {
+			if e, ok := r.reqCache[old]; !ok || e.done {
+				delete(r.reqCache, old)
+				r.reqOrder = append(r.reqOrder[:i], r.reqOrder[i+1:]...)
+				break
+			}
+		}
 	}
 	r.reqCache[id] = &pendingReq{}
 	r.reqOrder = append(r.reqOrder, id)
@@ -505,10 +579,26 @@ func (r *Server) finishAsync(reqID uint64, target *kern.Port, reply kern.Msg) {
 
 // handleConnect performs the active open on the library's behalf.
 func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
+	// Admission (federation mode): bound how many setups one application
+	// domain may have outstanding across all shards. A denied setup has no
+	// side effects — the library retries it under backoff with a fresh
+	// request id.
+	admitted := false
+	if r.fed != nil {
+		if !r.fed.admit(req.Owner) {
+			r.finish(t, m, kern.Msg{Op: "handoff",
+				Body: Handoff{Err: stacks.ErrAdmissionDenied}})
+			return
+		}
+		admitted = true
+	}
 	c := t.Cost()
 	t.Compute(c.RegistryPortAlloc + c.RegistryConnSetup)
 	port, err := r.ports.Ephemeral()
 	if err != nil {
+		if admitted {
+			r.fed.release(req.Owner)
+		}
 		r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 		return
 	}
@@ -520,13 +610,15 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	// channel itself — and on Ethernet the software demultiplexing binding
 	// — is activated as establishment completes, so handshake segments
 	// reach the registry's default path.
-	hc := &hsConn{opts: req.Opts, owner: req.Owner, reply: m.Reply, reqID: m.ID}
+	hc := &hsConn{opts: req.Opts, owner: req.Owner, reply: m.Reply, reqID: m.ID,
+		admitted: admitted}
 	r.watch(req.Owner)
 	if r.nif.IsAN1() {
 		t.Compute(t.Cost().BQIReserve)
 		bqi, err := r.nif.Mod.ReserveBQI(r.dom)
 		if err != nil {
 			r.ports.Release(local.Port)
+			r.releaseAdmit(hc)
 			r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 			return
 		}
@@ -538,8 +630,10 @@ func (r *Server) handleConnect(t *kern.Thread, m kern.Msg, req ConnectReq) {
 	r.attach(tc, hc)
 	if err := r.owned.Insert(tc); err != nil {
 		delete(r.conns, tc)
+		r.wheel.Drop(hc.went)
 		r.ports.Release(local.Port)
 		r.dropBQI(hc)
+		r.releaseAdmit(hc)
 		r.finish(t, m, kern.Msg{Op: "handoff", Body: Handoff{Err: err}})
 		return
 	}
@@ -691,19 +785,33 @@ func (r *Server) attach(tc *tcp.Conn, hc *hsConn) {
 			if hc.l == nil {
 				r.ports.Release(tc.Local().Port)
 			}
-			if hc.reply != nil {
+			if hc.reply != nil && hc.ourCap != nil {
 				// Handshake failed before handoff.
-				if hc.ourCap != nil {
-					_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
-					hc.ourCap = nil
-				}
-				r.finishAsync(hc.reqID, hc.reply,
-					kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
-				hc.reply = nil
+				_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+				hc.ourCap = nil
 			}
+			// Complete the dedup entry even when no one is listening for
+			// the reply (the crash sweep nils hc.reply before aborting):
+			// an entry stuck in-flight forever would pin a slot in the
+			// never-evict-in-flight cache, and a late retry of the id
+			// would wait on a handoff that can no longer come.
+			r.finishAsync(hc.reqID, hc.reply,
+				kern.Msg{Op: "handoff", Body: Handoff{Err: stacks.MapError(err)}})
+			hc.reply = nil
 			r.dropBQI(hc)
+			r.releaseAdmit(hc)
 		},
 	})
+}
+
+// releaseAdmit returns a setup's admission-quota slot (federation mode).
+// The flag guards exactly-once release however many exit paths the setup
+// traverses.
+func (r *Server) releaseAdmit(hc *hsConn) {
+	if hc != nil && hc.admitted {
+		hc.admitted = false
+		r.fed.release(hc.owner)
+	}
 }
 
 // transmit is the registry's un-optimized send path.
@@ -796,6 +904,8 @@ func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
 		rcvNxt:  snap.RcvNxt,
 	}
 
+	r.releaseAdmit(hc) // setup complete: free the admission-quota slot
+
 	ho := Handoff{
 		Snap:    snap,
 		Cap:     hc.ourCap,
@@ -831,7 +941,15 @@ func (r *Server) abortSetup(tc *tcp.Conn, hc *hsConn, err error) {
 	r.owned.Remove(tc)
 	delete(r.conns, tc)
 	r.wheel.Drop(hc.went)
+	if hc.ourCap != nil {
+		// A channel that was created before the failure (e.g. the
+		// template update path) would otherwise leave its lease, BQI and
+		// pinned region installed forever.
+		_ = r.nif.Mod.DestroyChannel(r.dom, hc.ourCap)
+		hc.ourCap = nil
+	}
 	r.dropBQI(hc)
+	r.releaseAdmit(hc)
 	if hc.inBacklog {
 		hc.inBacklog = false
 		hc.l.pending--
@@ -1028,9 +1146,19 @@ func (r *Server) rebuild(t *kern.Thread) {
 			if tmpl.RemotePort == 0 {
 				continue // not a fully specified connection endpoint
 			}
-			t.Compute(c.RegistryPortAlloc)
 			local := tcp.Endpoint{IP: tmpl.LocalIP, Port: tmpl.LocalPort}
 			peer := tcp.Endpoint{IP: tmpl.RemoteIP, Port: tmpl.RemotePort}
+			if r.fed != nil {
+				// A shard adopts only the endpoints it statically owns; its
+				// siblings' slices are theirs to rebuild. Re-issuing moves
+				// lease-renewal responsibility back here even if a survivor
+				// adopted the endpoint during the outage.
+				if r.fed.ownerEndpoints(local, peer) != r.shardIdx {
+					continue
+				}
+				_ = r.nif.Mod.Reissue(r.dom, ep.Cap)
+			}
+			t.Compute(c.RegistryPortAlloc)
 			if !r.ports.Reserve(local.Port) {
 				r.ports.Retain(local.Port) // accepted conns share a port
 			}
@@ -1045,6 +1173,12 @@ func (r *Server) rebuild(t *kern.Thread) {
 			r.watch(ep.Owner)
 			n++
 		case ipv4.ProtoUDP:
+			if r.fed != nil {
+				if r.shardIdx != 0 {
+					continue // shard 0 owns all datagram endpoints
+				}
+				_ = r.nif.Mod.Reissue(r.dom, ep.Cap)
+			}
 			t.Compute(c.RegistryPortAlloc)
 			r.udpPorts.Reserve(tmpl.LocalPort)
 			r.udpChannels[tmpl.LocalPort] = &udpBinding{owner: ep.Owner, ch: ep.Channel, cap: ep.Cap}
@@ -1097,6 +1231,12 @@ func (r *Server) handleReRegister(t *kern.Thread, m kern.Msg, req ReRegisterReq)
 	xc.peerBQI = req.PeerBQI
 	xc.sndNxt, xc.rcvNxt = req.SndNxt, req.RcvNxt
 	r.watch(req.Owner)
+	if r.fed != nil {
+		// Cross-shard migration: adopting a crashed sibling's connection
+		// takes over lease renewal too, or the endpoint would quarantine
+		// again at the next TTL despite being re-registered here.
+		_ = mod.Reissue(r.dom, req.Cap)
+	}
 	_ = mod.RenewLease(r.dom, req.Cap)
 	r.reregistered++
 	r.finish(t, m, kern.Msg{Op: "reregister-ack", Body: nil})

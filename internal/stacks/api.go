@@ -93,6 +93,12 @@ var (
 	// degrade gracefully (fail the connect/bind) instead of blocking
 	// forever on a dead or wedged server.
 	ErrRegistryUnavailable = errors.New("stacks: registry unavailable")
+
+	// ErrAdmissionDenied reports that the registry's admission layer
+	// refused a setup because the application domain already has its quota
+	// of outstanding setups. The library backs off and retries; it reaches
+	// applications only when the retry budget is exhausted too.
+	ErrAdmissionDenied = errors.New("stacks: connection setup admission denied")
 )
 
 // MapError converts engine close reasons to API errors.

@@ -100,8 +100,8 @@ const (
 	// exceeds persistMax, so letting the shift run further only risks
 	// overflow-style bugs without changing the probe cadence.
 	maxPersistShift = 6
-	keepIdleDflt  = 120 // probe after 60 s idle (shortened from BSD's 2h for simulation)
-	keepMaxProbes = 8
+	keepIdleDflt    = 120 // probe after 60 s idle (shortened from BSD's 2h for simulation)
+	keepMaxProbes   = 8
 )
 
 // Config parameterizes a connection. The zero value is completed with
@@ -246,6 +246,12 @@ type Conn struct {
 	closedErr  error
 	closedOnce bool
 
+	// Established-notification deferral: OnEstablished observers snapshot
+	// connection state (the registry handoff), so the callback must not
+	// fire mid-segment while sndUna still lags the handshake ACK.
+	inInput      bool
+	estabPending bool
+
 	// Observability. bus is nil-safe; busLabel names the connection in
 	// events and is built once at SetTrace time, keeping emit sites
 	// allocation-free.
@@ -320,7 +326,17 @@ func (c *Conn) setState(s State, why Trigger) {
 			c.setTimer(&c.tKeep, c.cfg.KeepAliveTicks)
 		}
 		if c.cb.OnEstablished != nil && prev != Established {
-			c.cb.OnEstablished()
+			if c.inInput {
+				// Segment processing is mid-flight: the handshake ACK
+				// has moved us to Established but sndUna/cwnd/RTT
+				// bookkeeping runs after the transition. Fire once the
+				// segment is fully absorbed so observers see a
+				// quiescent TCB (a snapshot taken here would transfer
+				// a phantom unacked SYN).
+				c.estabPending = true
+			} else {
+				c.cb.OnEstablished()
+			}
 		}
 	case Closed:
 		c.cancelTimers()

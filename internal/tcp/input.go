@@ -5,6 +5,16 @@ import "ulp/internal/trace"
 // Input processes an arriving segment (header already decoded and checksum
 // verified by the shell via Decode). data is the segment payload.
 func (c *Conn) Input(h Header, data []byte) {
+	c.inInput = true
+	defer func() {
+		c.inInput = false
+		if c.estabPending {
+			c.estabPending = false
+			if c.cb.OnEstablished != nil {
+				c.cb.OnEstablished()
+			}
+		}
+	}()
 	c.stats.SegsRcvd++
 	c.idleT = 0
 	c.keepProbes = 0

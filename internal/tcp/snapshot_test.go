@@ -1,0 +1,36 @@
+package tcp
+
+import "testing"
+
+// The Established notification must observe a quiescent TCB. The registry
+// snapshots the connection from this callback to hand it off to the
+// library; on the passive side the state transition happens inside ACK
+// processing, and a snapshot taken before the bookkeeping advances sndUna
+// past the SYN ships a phantom unacked byte — the restored engine then
+// waits forever for an ACK that can never come, wedging any server that
+// writes first.
+func TestEstablishedCallbackSeesQuiescentTCB(t *testing.T) {
+	n := newTestNet(t, Config{})
+	for _, c := range []*Conn{n.a, n.b} {
+		c := c
+		inner := c.cb.OnEstablished
+		c.cb.OnEstablished = func() {
+			snap := c.Snapshot()
+			if snap.State != Established {
+				t.Errorf("%v: snapshot at establishment in state %v", c.local, snap.State)
+			}
+			if snap.SndUna != snap.SndNxt {
+				t.Errorf("%v: snapshot at establishment has sndUna=%d sndNxt=%d — phantom unacked SYN",
+					c.local, snap.SndUna, snap.SndNxt)
+			}
+			if inner != nil {
+				inner()
+			}
+		}
+	}
+	n.connect()
+	if n.aEvents.established != 1 || n.bEvents.established != 1 {
+		t.Fatalf("established callbacks: a=%d b=%d, want 1 each",
+			n.aEvents.established, n.bEvents.established)
+	}
+}

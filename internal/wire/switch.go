@@ -27,6 +27,22 @@ type SwitchConfig struct {
 	// PortBitsPerSec is the egress port signalling rate; 0 uses the
 	// segment's BitsPerSec (a non-blocking fabric with matched ports).
 	PortBitsPerSec int64
+
+	// MacTTL ages learned MAC entries: an entry whose source has not
+	// transmitted for MacTTL is treated as a miss (the frame floods and
+	// the address re-learns). 0 uses DefaultMacTTL. Without aging, a
+	// crashed host's entry steers frames to a dead port forever.
+	MacTTL time.Duration
+}
+
+// DefaultMacTTL matches the classic bridge address-table timeout.
+const DefaultMacTTL = 60 * time.Second
+
+// macEntry is one learned address: the egress station and the virtual time
+// of the last frame seen from it.
+type macEntry struct {
+	st   Station
+	seen sim.Time
 }
 
 // NewSwitched creates a switched segment. The base configuration must be
@@ -37,8 +53,11 @@ func NewSwitched(s *sim.Sim, cfg Config, sw SwitchConfig) *Segment {
 	}
 	g := New(s, cfg)
 	swc := sw
+	if swc.MacTTL == 0 {
+		swc.MacTTL = DefaultMacTTL
+	}
 	g.sw = &swc
-	g.macPort = make(map[link.Addr]Station)
+	g.macPort = make(map[link.Addr]macEntry)
 	g.egress = make(map[link.Addr]*sim.Resource)
 	return g
 }
@@ -58,21 +77,27 @@ func switchCB(a any) {
 	f.g.forward(f)
 }
 
-// forward runs at the switch after the ingress hop: learn the source,
-// then unicast out the learned port or flood.
+// forward runs at the switch after the ingress hop: learn (or refresh)
+// the source, then unicast out the learned port or flood. Re-stamping on
+// every frame keeps an active station's entry alive and re-points it when
+// the address reappears behind a different port (host restart); a learned
+// entry older than MacTTL is treated as a miss and lazily deleted, so the
+// flood/re-learn path runs instead of steering into a dead port.
 func (g *Segment) forward(f *inflight) {
 	src, dst := f.src, f.dst
-	if _, ok := g.macPort[src]; !ok {
-		if st, here := g.stations[src]; here {
-			g.macPort[src] = st
-		}
+	now := g.s.Now()
+	if st, here := g.stations[src]; here {
+		g.macPort[src] = macEntry{st: st, seen: now}
 	}
 	if !dst.IsBroadcast() {
-		if st, ok := g.macPort[dst]; ok {
-			g.framesSwitched++
-			f.st = st
-			g.egressSend(f)
-			return
+		if e, ok := g.macPort[dst]; ok {
+			if now.Sub(e.seen) <= g.sw.MacTTL {
+				g.framesSwitched++
+				f.st = e.st
+				g.egressSend(f)
+				return
+			}
+			delete(g.macPort, dst) // aged out: fall through to flood
 		}
 		g.framesFlooded++
 	}

@@ -157,3 +157,119 @@ func TestSwitchDeterminism(t *testing.T) {
 		t.Fatalf("switched fabric not deterministic:\n%s\n%s", a, b)
 	}
 }
+
+// TestSwitchMacAging: a learned entry whose station has gone silent for
+// longer than MacTTL must be treated as a miss — the frame floods and the
+// address re-learns — instead of steering into a possibly-dead port
+// forever. Pre-fix the table never aged, so the third transmit below was
+// switched rather than flooded.
+func TestSwitchMacAging(t *testing.T) {
+	ttl := 500 * time.Millisecond
+	s, g, sts := setupSwitch(3, SwitchConfig{MacTTL: ttl})
+	a, b, c := sts[0], sts[1], sts[2]
+
+	// b announces itself (broadcast): the switch learns it, and a's frame
+	// takes the learned port — no flood, c sees nothing new.
+	g.Transmit(b.addr, link.Broadcast, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	cBefore := len(c.got)
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	if len(b.got) != 1 || len(c.got) != cBefore {
+		t.Fatalf("fresh entry flooded: b got %d (want 1), c got %d extra",
+			len(b.got), len(c.got)-cBefore)
+	}
+
+	// b stays silent past the TTL: the stale entry must age out, so a's
+	// next frame floods (c now sees a copy) and b re-learns only when it
+	// next transmits.
+	s.After(ttl+time.Millisecond, func() {})
+	s.Run(0)
+	_, _, floodedBefore := g.SwitchStats()
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	if _, _, flooded := g.SwitchStats(); flooded != floodedBefore+1 {
+		t.Fatalf("aged entry did not flood: flooded = %d, want %d", flooded, floodedBefore+1)
+	}
+	if len(b.got) != 2 || len(c.got) != cBefore+1 {
+		t.Fatalf("aged entry: b got %d (want 2), c got %d extra (want 1)",
+			len(b.got), len(c.got)-cBefore)
+	}
+}
+
+// TestSwitchMacRefresh: steady traffic keeps an entry alive — each frame
+// from a known source re-stamps its last-seen time, so an active station
+// older than one TTL in total is still unicast-switched.
+func TestSwitchMacRefresh(t *testing.T) {
+	ttl := 500 * time.Millisecond
+	s, g, sts := setupSwitch(3, SwitchConfig{MacTTL: ttl})
+	a, b := sts[0], sts[1]
+
+	// b transmits at t0 and again at 0.8 TTL; at 1.6 TTL (past t0+TTL but
+	// within TTL of the refresh) a's frame must still switch, not flood.
+	g.Transmit(b.addr, link.Broadcast, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	s.After(4*ttl/5, func() {})
+	s.Run(0)
+	g.Transmit(b.addr, link.Broadcast, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	s.After(4*ttl/5, func() {})
+	s.Run(0)
+	_, switchedBefore, floodedBefore := g.SwitchStats()
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	_, switched, flooded := g.SwitchStats()
+	if switched != switchedBefore+1 || flooded != floodedBefore {
+		t.Fatalf("refreshed entry: switched/flooded deltas = %d/%d, want 1/0",
+			switched-switchedBefore, flooded-floodedBefore)
+	}
+}
+
+// TestSwitchDetachInvalidatesAndRecovers is the kill-and-restart
+// regression: a host dies (its station detaches), comes back behind a new
+// port with the same address, and traffic must recover. Pre-fix there was
+// no invalidate-on-port-removal at all — the dead station's learned entry
+// steered frames into the old port forever and a re-attach panicked on
+// the duplicate address.
+func TestSwitchDetachInvalidatesAndRecovers(t *testing.T) {
+	s, g, sts := setupSwitch(3, SwitchConfig{})
+	a, b := sts[0], sts[1]
+
+	// Learn a and b, then kill b: only b's entry may be invalidated.
+	g.Transmit(a.addr, b.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	g.Transmit(b.addr, a.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	g.Detach(b.addr)
+	if learned, _, _ := g.SwitchStats(); learned != 1 {
+		t.Fatalf("learned = %d after detach, want 1 (only b invalidated)", learned)
+	}
+
+	// Restart: same address, different port (a fresh station object).
+	b2 := &fakeStation{addr: b.addr, s: s}
+	g.Attach(b2)
+
+	// Traffic to the reborn address must reach the new port. The first
+	// frame floods (the stale entry is gone); after b2 transmits, frames
+	// switch straight to it.
+	g.Transmit(a.addr, b2.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	if len(b2.got) != 1 {
+		t.Fatalf("reborn station got %d frames, want 1 (flooded)", len(b2.got))
+	}
+	if len(b.got) != 1 {
+		t.Fatalf("dead station got %d frames, want 1 (nothing after detach)", len(b.got))
+	}
+	g.Transmit(b2.addr, a.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	_, switchedBefore, _ := g.SwitchStats()
+	g.Transmit(a.addr, b2.addr, pkt.FromBytes(0, make([]byte, 64)))
+	s.Run(0)
+	if _, switched, _ := g.SwitchStats(); switched != switchedBefore+1 {
+		t.Fatalf("re-learned frame did not switch: switched = %d, want %d",
+			switched, switchedBefore+1)
+	}
+	if len(b2.got) != 2 {
+		t.Fatalf("reborn station got %d frames, want 2", len(b2.got))
+	}
+}

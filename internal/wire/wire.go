@@ -134,7 +134,7 @@ type Segment struct {
 
 	// Learning-switch state (nil/unused unless built with NewSwitched).
 	sw      *SwitchConfig
-	macPort map[link.Addr]Station
+	macPort map[link.Addr]macEntry
 	egress  map[link.Addr]*sim.Resource
 
 	// Trace, when non-nil, observes every transmission at queue time (for
@@ -192,6 +192,34 @@ func (g *Segment) Attach(st Station) {
 	}
 	if g.sw != nil {
 		g.egress[a] = g.s.NewResource(g.cfg.Name + "." + a.String() + ".egress")
+	}
+}
+
+// Detach removes a station from the segment: its address no longer
+// resolves, broadcasts no longer reach it, and on a switched fabric every
+// learned MAC entry steering frames to its port is invalidated, so traffic
+// to a re-attached address floods and re-learns instead of black-holing
+// into the dead port. Detaching an unknown address is a no-op.
+func (g *Segment) Detach(addr link.Addr) {
+	st, ok := g.stations[addr]
+	if !ok {
+		return
+	}
+	delete(g.stations, addr)
+	for i, o := range g.order {
+		if o == st {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	delete(g.perPort, addr)
+	if g.sw != nil {
+		delete(g.egress, addr)
+		for a, e := range g.macPort {
+			if e.st == st {
+				delete(g.macPort, a)
+			}
+		}
 	}
 }
 

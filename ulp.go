@@ -147,6 +147,17 @@ type Config struct {
 	// Both zero = default range.
 	EphemeralLo, EphemeralHi uint16
 
+	// RegistryShards, when >= 2, shards each host's registry control plane
+	// into that many federated registry servers, each pinned to its own CPU
+	// and owning a static slice of the port space, fronted by a stateless
+	// metaregistry index in every library. 0 or 1 keeps the classic single
+	// registry — bit-identical to worlds built before federation existed.
+	// Only OrgUserLib worlds use it.
+	RegistryShards int
+	// AdmissionQuota bounds outstanding connection setups per application
+	// domain in sharded worlds (0 = registry.DefaultAdmissionQuota).
+	AdmissionQuota int
+
 	// ZeroCopyRx switches every module's receive channels to by-reference
 	// delivery: matched frames are handed to the library as refcounted
 	// buffer references plus a fixed-size descriptor in the shared region,
@@ -189,6 +200,10 @@ type Node struct {
 	Registry *registry.Server
 	InKernel *stacks.InKernel
 	UXServer *stacks.SingleServer
+
+	// Fed is set (alongside a nil Registry) when the world shards the
+	// control plane (Config.RegistryShards >= 2).
+	Fed *registry.Federation
 }
 
 // App is one application on a node: an address space plus the stack handle
@@ -253,6 +268,32 @@ func NewWorld(cfg Config) *World {
 			IP: ipv4.Addr{10, 0, byte((i + 1) >> 8), byte(i + 1)}}
 		switch cfg.Org {
 		case OrgUserLib:
+			if cfg.RegistryShards >= 2 {
+				n.Fed = registry.NewFederation(s, mod, n.IP, registry.FederationConfig{
+					Shards: cfg.RegistryShards, Quota: cfg.AdmissionQuota})
+				if cfg.TimerWheel {
+					n.Fed.EnableTimerWheel()
+				}
+				if cfg.EphemeralHi != 0 {
+					n.Fed.SetEphemeralRange(cfg.EphemeralLo, cfg.EphemeralHi)
+				}
+				if cfg.Chaos != nil {
+					n.Fed.SetControlFaults(chaos.NewInjector(
+						cfg.Chaos.Seed+uint64(i), cfg.Chaos.Control))
+					for _, sc := range cfg.Chaos.ShardCrashes {
+						if sc.Host != i {
+							continue
+						}
+						fed, shard := n.Fed, sc.Shard
+						s.After(sim.Dur(sc.At), func() { fed.CrashShard(shard) })
+						if sc.RestartAfter > 0 {
+							s.After(sim.Dur(sc.At+sc.RestartAfter),
+								func() { fed.RestartShard(shard) })
+						}
+					}
+				}
+				break
+			}
 			n.Registry = registry.New(s, mod, n.IP)
 			if cfg.TimerWheel {
 				n.Registry.EnableTimerWheel()
@@ -306,6 +347,9 @@ func (w *World) EnableTrace() *trace.Bus {
 		n.Mod.Device().SetTrace(bus)
 		if n.Registry != nil {
 			n.Registry.SetTrace(bus)
+		}
+		if n.Fed != nil {
+			n.Fed.SetTrace(bus)
 		}
 	}
 	return bus
@@ -394,6 +438,30 @@ func (w *World) StatsRegistry() *stats.Registry {
 				emit("rebuilt_endpoints", int64(reg.RebuiltEndpoints()))
 			})
 		}
+		if n.Fed != nil {
+			r.RegisterFunc(fmt.Sprintf("registry.h%d", n.Index), func(emit func(string, int64)) {
+				fed := n.Fed
+				emit("shards", int64(fed.Shards()))
+				emit("ports_in_use", int64(fed.PortsInUse()))
+				emit("owned_conns", int64(fed.OwnedConns()))
+				emit("transferred", int64(fed.TransferredConns()))
+				emit("dedup_hits", int64(fed.DedupHits()))
+				emit("reregistered", int64(fed.ReRegistered()))
+				emit("admission_denied", int64(fed.AdmissionDenied()))
+				for i := 0; i < fed.Shards(); i++ {
+					sh := fed.Shard(i)
+					pfx := fmt.Sprintf("shard%d.", i)
+					live := int64(0)
+					if fed.Live(i) {
+						live = 1
+					}
+					emit(pfx+"live", live)
+					emit(pfx+"epoch", int64(sh.Epoch()))
+					emit(pfx+"syn_dropped", int64(sh.SynDrops()))
+					emit(pfx+"rebuilt_endpoints", int64(sh.RebuiltEndpoints()))
+				}
+			})
+		}
 	}
 	r.RegisterFunc("pkt", func(emit func(string, int64)) {
 		c := pkt.Counters()
@@ -457,6 +525,12 @@ func (n *Node) App(name string) *App {
 	dom := n.Host.NewDomain(name, false)
 	a := &App{Node: n, Dom: dom}
 	switch {
+	case n.Fed != nil:
+		a.Lib = core.NewLibraryFed(n.world.Sim, dom, n.Fed)
+		if n.world.cfg.TimerWheel {
+			a.Lib.EnableTimerWheel()
+		}
+		a.Stack = a.Lib
 	case n.Registry != nil:
 		a.Lib = core.NewLibrary(n.world.Sim, dom, n.Registry)
 		if n.world.cfg.TimerWheel {
