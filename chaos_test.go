@@ -842,3 +842,109 @@ func TestChaosShardCrashesUnderChurnLeaveNoLeaks(t *testing.T) {
 	}
 	assertNoPoolLeaks(t)
 }
+
+// A scripted partition under connection churn: the whole segment goes dark
+// for three seconds in the middle of a staggered run of short echo
+// connections. SYNs and data sent into the outage vanish silently (no
+// RST), so everything rides on retransmission; after the heal every
+// connection — including those started mid-partition — must complete, and
+// the control plane must come out clean: no leaked ports, no stranded
+// transferred or registry-owned pcbs, no pinned regions, no pool buffers.
+func TestChaosPartitionUnderChurnHealsWithoutLeaks(t *testing.T) {
+	trackPoolLeaks(t)
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed: 29,
+			Wire: wire.Faults{LossProb: 0.02},
+			Partitions: []chaos.Partition{
+				{At: 2 * time.Second, HealAfter: 3 * time.Second},
+			},
+		},
+	})
+	enableConformance(t, w)
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	const conns = 10
+	served := 0
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		for i := 0; i < conns; i++ {
+			c, err := l.Accept(th)
+			if err != nil {
+				return
+			}
+			served++
+			srv.Go("echo", func(th *kern.Thread) {
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(th, buf)
+					if err != nil {
+						return
+					}
+					if n == 0 {
+						c.Close(th)
+						return
+					}
+					if _, err := c.Write(th, buf[:n]); err != nil {
+						return
+					}
+				}
+			})
+		}
+		l.Close(th)
+	})
+	okConns, doneConns := 0, 0
+	for i := 0; i < conns; i++ {
+		// Staggered starts: early connections carry data into the outage,
+		// middle ones open into it, late ones open right after the heal.
+		cli.GoAfter(time.Duration(i)*500*time.Millisecond, "cli", func(th *kern.Thread) {
+			defer func() { doneConns++ }()
+			c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			msg := pattern(256)
+			if _, err := c.Write(th, msg); err != nil {
+				return
+			}
+			buf := make([]byte, 512)
+			got := 0
+			for got < len(msg) {
+				n, err := c.Read(th, buf)
+				if err != nil || n == 0 {
+					break
+				}
+				got += n
+			}
+			c.Close(th)
+			if got == len(msg) {
+				okConns++
+			}
+		})
+	}
+	w.RunUntil(3*time.Minute, func() bool { return doneConns == conns })
+	if doneConns != conns || okConns != conns || served != conns {
+		t.Fatalf("churn incomplete: done=%d ok=%d served=%d want %d", doneConns, okConns, served, conns)
+	}
+	// Ride out TIME_WAIT (2*MSL = 60 s), then audit both hosts.
+	w.Run(2 * time.Minute)
+	for host := 0; host < 2; host++ {
+		n := w.Node(host)
+		r := n.Registry
+		if got := r.PortsInUse(); got != 0 {
+			t.Errorf("host %d: %d ports still allocated", host, got)
+		}
+		if got := r.TransferredConns(); got != 0 {
+			t.Errorf("host %d: %d transferred connections not reclaimed", host, got)
+		}
+		if got := r.OwnedConns(); got != 0 {
+			t.Errorf("host %d: %d registry-owned pcbs remain", host, got)
+		}
+		if got := n.Mod.PinnedRegions(); got != 0 {
+			t.Errorf("host %d: %d shared regions still pinned", host, got)
+		}
+	}
+	assertNoPoolLeaks(t)
+}

@@ -31,8 +31,14 @@ func main() {
 	churnWorkers := flag.Int("churn-workers", 8, "churn: concurrent connect loops per client")
 	shards := flag.Int("shards", 0, "churn: federate each host's registry into N shards (0/1 = single registry)")
 	zerocopy := flag.Bool("zerocopy", false, "deliver received frames by reference (refcounted zero-copy rings) in -stats and -churn")
+	degrade := flag.Bool("degrade", false, "run the degradation experiment (bursty loss, link flaps, bufferbloat)")
+	degradeBytes := flag.Int("degrade-bytes", 256<<10, "degrade: payload bytes per transfer")
 	flag.Parse()
 
+	if *degrade {
+		runDegrade(*degradeBytes)
+		return
+	}
 	if *churn {
 		runChurn(*churnConns, *churnClients, *churnWorkers, *shards, *zerocopy)
 		return
@@ -340,4 +346,30 @@ func runChurn(conns, clients, workers, shards int, zerocopy bool) {
 	fmt.Println("(virtual percentiles are dominated by the modeled 1993 registry setup cost;")
 	fmt.Println(" the fast path's win is wall-clock events/sec and flat per-conn demux/timer cost;")
 	fmt.Println(" sharding parallelizes the registry CPU itself, lifting setups/vsec)")
+}
+
+// runDegrade renders the degradation experiment (PR 10): a fixed transfer
+// through the time-scripted link-condition layer, sweeping loss-burst
+// length, flap period and bufferbloat queue depth. "gave-up" marks rows
+// where a side abandoned the connection (RFC 1122 R2 / keepalive) and the
+// blocked caller saw a crisp timeout instead of a hang.
+func runDegrade(bytes int) {
+	header(fmt.Sprintf("End-to-end degradation: %d KiB transfer, user-level stack, AN1", bytes>>10))
+	fmt.Printf("%-12s %-18s %-9s %9s %10s %8s %6s %4s %8s %8s %8s\n",
+		"Profile", "Knob", "Outcome", "Mb/s", "virtual", "rexmit", "fast", "R1", "give-ups", "drops", "q-drops")
+	for _, r := range experiments.Degrade(experiments.DegradeConfig{Bytes: bytes}) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "degrade (%s/%s): %v\n", r.Profile, r.Knob, r.Err)
+			continue
+		}
+		outcome := "ok"
+		if !r.Completed {
+			outcome = "gave-up"
+		}
+		fmt.Printf("%-12s %-18s %-9s %9.2f %10v %8d %6d %4d %8d %8d %8d\n",
+			r.Profile, r.Knob, outcome, r.Goodput, r.Virtual.Round(time.Millisecond),
+			r.Rexmits, r.FastRexmits, r.R1, r.GiveUps, r.CondDrops, r.QueueDrops)
+	}
+	fmt.Println("(goodput is delivered payload over virtual time; the partition row must")
+	fmt.Println(" end in a give-up — a hang there is a bug, not a degradation)")
 }

@@ -417,3 +417,92 @@ func TestShardCrashReplayDeterministic(t *testing.T) {
 	b := runShardCrashScenario(t, seed)
 	diffTraces(t, seed, a, b)
 }
+
+// runDegradationScenario is the link-conditions member of the replay
+// matrix: the probabilistic wire faults stay on while a LinkConditions
+// plan layers Gilbert–Elliott bursty loss, a flap schedule, and a
+// rate-limited bounded queue on top. The condition layer draws from its
+// own RNG after the fault layer's draws, so this scenario pins both that
+// the layer is internally deterministic and that its presence does not
+// shift a single fault-layer draw (the composition contract).
+func runDegradationScenario(t *testing.T, seed uint64) []string {
+	t.Helper()
+	w := NewWorld(Config{
+		Org: OrgUserLib, Net: Ethernet,
+		Chaos: &chaos.FaultPlan{
+			Seed: seed,
+			Wire: wire.Faults{
+				LossProb:     0.03,
+				DupProb:      0.02,
+				ReorderProb:  0.03,
+				ReorderDelay: 2 * time.Millisecond,
+			},
+		},
+		Conditions: &wire.LinkConditions{
+			Seed:  seed + 1,
+			Burst: &wire.GilbertElliott{PGoodBad: 0.02, PBadGood: 0.3, LossBad: 1},
+			Flaps: []wire.Window{
+				{From: 80 * time.Millisecond, Until: 120 * time.Millisecond},
+				{From: 300 * time.Millisecond, Until: 340 * time.Millisecond},
+			},
+			Queue: &wire.QueueModel{RateBitsPerSec: 8_000_000, MaxFrames: 12},
+		},
+	})
+	var frames []string
+	w.TraceFrames(func(at time.Duration, frame *pkt.Buf) {
+		h := fnv.New64a()
+		h.Write(frame.Bytes())
+		frames = append(frames, fmt.Sprintf("%d %d %016x", at, len(frame.Bytes()), h.Sum64()))
+	})
+
+	srv := w.Node(0).App("server")
+	cli := w.Node(1).App("client")
+	srvDone := false
+	srv.Go("srv", func(th *kern.Thread) {
+		l, _ := srv.Stack.Listen(th, 80, stacks.Options{})
+		c, err := l.Accept(th)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(th, buf)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		srvDone = true
+	})
+	cli.GoAfter(time.Millisecond, "cli", func(th *kern.Thread) {
+		c, err := cli.Stack.Connect(th, w.Endpoint(0, 80), stacks.Options{})
+		if err != nil {
+			return
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := c.Write(th, pattern(1024)); err != nil {
+				return
+			}
+			th.Sleep(5 * time.Millisecond)
+		}
+		c.Close(th)
+	})
+	w.RunUntil(time.Minute, func() bool { return srvDone })
+	w.Run(2 * time.Second)
+	if !srvDone {
+		t.Fatal("degradation scenario did not complete")
+	}
+	if len(frames) == 0 {
+		t.Fatal("scenario produced no frames")
+	}
+	return frames
+}
+
+// TestDegradationReplayDeterministic pins the acceptance criterion for the
+// link-condition layer: the same seeded bursty-loss + flap + bufferbloat
+// scenario must be bit-identical across two replays.
+func TestDegradationReplayDeterministic(t *testing.T) {
+	seed := uint64(23)
+	a := runDegradationScenario(t, seed)
+	b := runDegradationScenario(t, seed)
+	diffTraces(t, seed, a, b)
+}

@@ -144,9 +144,9 @@ func main() {
 		ok = false
 	}
 
-	sent, dropped, corrupted, duplicated, _ := w.Seg.Stats()
-	fmt.Printf("\nwire:   %d frames sent, %d dropped, %d corrupted, %d duplicated\n",
-		sent, dropped, corrupted, duplicated)
+	sent, dropped, corrupted, duplicated, reordered, _ := w.Seg.Stats()
+	fmt.Printf("\nwire:   %d frames sent, %d dropped, %d corrupted, %d duplicated, %d reordered\n",
+		sent, dropped, corrupted, duplicated, reordered)
 	if st.cConn != nil {
 		cs := st.cConn.Stats()
 		fmt.Printf("sender: %d segments, %d timeout retransmissions, %d fast retransmissions, %d dup-acks seen\n",

@@ -46,6 +46,12 @@ type FaultPlan struct {
 	// federated (sharded) control plane. Worlds built without RegistryShards
 	// ignore them.
 	ShardCrashes []ShardCrash
+
+	// Partitions schedules network partitions: during each window, frames
+	// crossing the cut vanish silently (no reset, no error), exactly like
+	// a dead route. Time-scripted, no RNG draws — adding a partition to a
+	// seeded plan leaves every probabilistic fault's fate intact.
+	Partitions []Partition
 }
 
 // ControlFaults describes registry service misbehaviour.
@@ -105,6 +111,19 @@ type ShardCrash struct {
 	At time.Duration
 	// RestartAfter is the delay from the crash to the restart (0 = never).
 	RestartAfter time.Duration
+}
+
+// Partition isolates a set of hosts from the rest of the world between At
+// and At+HealAfter. Hosts on the same side of the cut still talk to each
+// other; only frames crossing the cut are blackholed.
+type Partition struct {
+	// Hosts indexes the nodes on one side of the cut. Empty means the
+	// whole segment goes dark (a full blackhole).
+	Hosts []int
+	// At is the virtual time the partition starts.
+	At time.Duration
+	// HealAfter is how long the partition lasts (0 = never heals).
+	HealAfter time.Duration
 }
 
 // WireFaults returns the data-plane fault set with the seed filled in.

@@ -146,12 +146,22 @@ func (x *Explorer) mutate(sc Scenario) []Fault {
 					f = Fault{Kind: FaultClose, At: step, Side: side}
 				}
 			case tcp.TrigTimer:
-				f = Fault{Kind: FaultCut, At: step}
+				// Timer edges fire when the wire dies; a permanent cut, a
+				// healing partition and a flap schedule all get there by
+				// different retransmission histories.
+				switch x.rng.Intn(3) {
+				case 0:
+					f = Fault{Kind: FaultCut, At: step}
+				case 1:
+					f = Fault{Kind: FaultPartition, At: step, Dur: 5 + x.rng.Intn(40)}
+				default:
+					f = Fault{Kind: FaultFlap, At: step, Dur: 2 + x.rng.Intn(15)}
+				}
 			default:
 				f = Fault{Kind: FaultDrop, At: x.rng.Intn(40)}
 			}
 		} else {
-			switch x.rng.Intn(5) {
+			switch x.rng.Intn(7) {
 			case 0:
 				f = Fault{Kind: FaultDrop, At: x.rng.Intn(40)}
 			case 1:
@@ -160,6 +170,10 @@ func (x *Explorer) mutate(sc Scenario) []Fault {
 				f = Fault{Kind: FaultAbort, At: step, Side: side}
 			case 3:
 				f = Fault{Kind: FaultClose, At: step, Side: side}
+			case 4:
+				f = Fault{Kind: FaultPartition, At: step, Dur: 5 + x.rng.Intn(40)}
+			case 5:
+				f = Fault{Kind: FaultFlap, At: step, Dur: 2 + x.rng.Intn(15)}
 			default:
 				f = Fault{Kind: FaultCut, At: step}
 			}

@@ -84,6 +84,24 @@ const (
 	// FaultCut severs directions (mask in Side's place is not needed; the
 	// At step applies Arg-less DirBoth).
 	FaultCut FaultKind = "cut"
+	// FaultPartition severs both directions at step At and heals them Dur
+	// steps later (default 25) — a partition with a scripted heal, letting
+	// the explorer reach the resume-after-outage edges FaultCut (which
+	// never heals) cannot.
+	FaultPartition FaultKind = "partition"
+	// FaultFlap runs flapCycles down/up link cycles of Dur steps per half
+	// period (default 10) starting at step At.
+	FaultFlap FaultKind = "flap"
+
+	// faultUncut is the internal heal action partition/flap expand into.
+	faultUncut FaultKind = "uncut"
+)
+
+// Defaults for the timed fault kinds.
+const (
+	defaultPartitionSteps = 25
+	defaultFlapSteps      = 10
+	flapCycles            = 3
 )
 
 // Fault is one schedulable fault point.
@@ -91,6 +109,9 @@ type Fault struct {
 	Kind FaultKind `json:"kind"`
 	At   int       `json:"at"`   // frame index for drop; step otherwise
 	Side Side      `json:"side"` // target side (ignored for cut)
+	// Dur is the duration in steps for the timed kinds (partition length,
+	// flap half-period); 0 selects the kind's default.
+	Dur int `json:"dur,omitempty"`
 }
 
 // Scenario is a deterministic script plus engine configuration. The same
@@ -180,10 +201,33 @@ func Run(sc Scenario, faults []Fault) Result {
 	all := make([]Fault, 0, len(sc.Faults)+len(faults))
 	all = append(all, sc.Faults...)
 	all = append(all, faults...)
+	addStep := func(at int, f Fault) {
+		f.At = at
+		stepFaults[at] = append(stepFaults[at], f)
+	}
 	for _, f := range all {
-		if f.Kind == FaultDrop {
+		switch f.Kind {
+		case FaultDrop:
 			h.drops[f.At] = true
-		} else {
+		case FaultPartition:
+			// Expand into a cut and a scripted heal.
+			dur := f.Dur
+			if dur <= 0 {
+				dur = defaultPartitionSteps
+			}
+			addStep(f.At, Fault{Kind: FaultCut})
+			addStep(f.At+dur, Fault{Kind: faultUncut})
+		case FaultFlap:
+			dur := f.Dur
+			if dur <= 0 {
+				dur = defaultFlapSteps
+			}
+			for k := 0; k < flapCycles; k++ {
+				down := f.At + 2*k*dur
+				addStep(down, Fault{Kind: FaultCut})
+				addStep(down+dur, Fault{Kind: faultUncut})
+			}
+		default:
 			stepFaults[f.At] = append(stepFaults[f.At], f)
 		}
 	}
@@ -322,6 +366,8 @@ func (h *harness) applyFault(f Fault) {
 		h.conns[f.Side].Close()
 	case FaultCut:
 		h.cut = DirBoth
+	case faultUncut:
+		h.cut = 0
 	case FaultRST:
 		// Forge an RST the target must accept: seq at the target's own
 		// rcv_nxt (the ACK it last advertised), ack covering everything it

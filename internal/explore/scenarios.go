@@ -241,6 +241,31 @@ func Library() []Scenario {
 		),
 	})
 
+	// Partition mid-transfer, then heal: A's data retransmits into the cut
+	// and must survive (the partition is shorter than the give-up horizon);
+	// after the heal both sides finish the transfer and release cleanly.
+	// The FaultFlap variant replays the same script through three shorter
+	// down/up cycles, stressing Karn + backoff across repeated recoveries.
+	add(Scenario{
+		Name: "partition-heal-resume", TimeWaitTicks: 10, MaxSteps: 500,
+		Ops: withOpen(
+			Op{Step: 10, Side: A, Kind: OpWrite, Arg: 2000},
+			Op{Step: 120, Side: A, Kind: OpWrite, Arg: 1000},
+			Op{Step: 200, Side: A, Kind: OpClose},
+			Op{Step: 220, Side: B, Kind: OpClose},
+		),
+		Faults: []Fault{{Kind: FaultPartition, At: 12, Dur: 60}},
+	})
+	add(Scenario{
+		Name: "flap-survive", TimeWaitTicks: 10, MaxSteps: 500,
+		Ops: withOpen(
+			Op{Step: 10, Side: A, Kind: OpWrite, Arg: 2000},
+			Op{Step: 200, Side: A, Kind: OpClose},
+			Op{Step: 220, Side: B, Kind: OpClose},
+		),
+		Faults: []Fault{{Kind: FaultFlap, At: 12, Dur: 12}},
+	})
+
 	// Lossy handshake and release: the scripted drops force SYN, SYN|ACK
 	// and FIN retransmissions (Karn + backoff invariants under recovery).
 	add(Scenario{

@@ -728,6 +728,9 @@ func (r *Server) tcpConfig(opts stacks.Options) tcp.Config {
 		NoDelay:        opts.NoDelay,
 		NoDelayedAck:   opts.NoDelayedAck,
 		FastRetransmit: true,
+		KeepAliveTicks: opts.KeepAliveTicks,
+		RexmtR1:        opts.RexmtR1,
+		RexmtR2:        opts.RexmtR2,
 	}
 }
 
@@ -851,6 +854,14 @@ func (r *Server) resolveAndSend(t *kern.Thread, ippkt *pkt.Buf, dst ipv4.Addr, d
 // established completes setup: narrow the template to the negotiated peer,
 // transfer the state to the library, and route future default-path strays.
 func (r *Server) established(tc *tcp.Conn, hc *hsConn) {
+	if tc.State() != tcp.Established {
+		// The establishment notification is deferred to the end of segment
+		// processing; if the connection died in the meantime (give-up,
+		// reset), its OnClosed path owns the cleanup — snapshotting and
+		// handing off a dying connection would transfer a corpse and
+		// double-release its resources.
+		return
+	}
 	t := r.cur
 	c := t.Cost()
 	// On Ethernet the channel and its demultiplexing binding are created

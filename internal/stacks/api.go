@@ -10,6 +10,7 @@ package stacks
 
 import (
 	"errors"
+	"fmt"
 
 	"ulp/internal/kern"
 	"ulp/internal/tcp"
@@ -35,6 +36,17 @@ type Options struct {
 	// retransmission retries once capacity frees up). 0 = implementation
 	// default.
 	Backlog int
+	// KeepAliveTicks enables keepalive probing after that many idle slow
+	// ticks (500 ms each); 0 disables. With it, a dead peer or permanent
+	// partition surfaces as ErrConnTimeout even on an idle connection.
+	KeepAliveTicks int
+	// RexmtR1 and RexmtR2 tune the RFC 1122 retransmission thresholds per
+	// connection (see tcp.Config); 0 selects the defaults (3 and 12).
+	// Lowering R2 makes a blackholed connection fail fast with
+	// ErrConnTimeout instead of retrying for minutes — the per-connection
+	// robustness policy a user-level stack can offer where a kernel
+	// implementation has one global knob.
+	RexmtR1, RexmtR2 int
 }
 
 // Stack is one protocol organization instantiated on one host.
@@ -88,6 +100,13 @@ var (
 	ErrPortInUse   = errors.New("stacks: port in use")
 	ErrUnreachable = errors.New("stacks: host unreachable")
 
+	// ErrConnTimeout reports that an established connection was abandoned
+	// after exhausting its R2 retransmission budget or its keepalive
+	// probes (a dead peer or an unhealed partition). It wraps ErrTimeout,
+	// so errors.Is(err, ErrTimeout) continues to match; blocked Read/Write/
+	// Close calls observe it through the connection's closed state.
+	ErrConnTimeout = fmt.Errorf("%w (retransmission/keepalive give-up)", ErrTimeout)
+
 	// ErrRegistryUnavailable reports that the registry server did not
 	// answer a control-plane RPC within its bounded retry budget. Callers
 	// degrade gracefully (fail the connect/bind) instead of blocking
@@ -111,7 +130,7 @@ func MapError(err error) error {
 	case tcp.ErrRefused:
 		return ErrRefused
 	case tcp.ErrTimeout, tcp.ErrKeepalive:
-		return ErrTimeout
+		return ErrConnTimeout
 	}
 	return err
 }

@@ -82,6 +82,9 @@ func tcpConfig(nif *Netif, opts Options) tcp.Config {
 		NoDelay:        opts.NoDelay,
 		NoDelayedAck:   opts.NoDelayedAck,
 		FastRetransmit: true,
+		KeepAliveTicks: opts.KeepAliveTicks,
+		RexmtR1:        opts.RexmtR1,
+		RexmtR2:        opts.RexmtR2,
 	}
 }
 

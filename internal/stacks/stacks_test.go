@@ -2,6 +2,7 @@ package stacks
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -325,13 +326,17 @@ func TestMapError(t *testing.T) {
 		nil:              nil,
 		tcp.ErrReset:     ErrReset,
 		tcp.ErrRefused:   ErrRefused,
-		tcp.ErrTimeout:   ErrTimeout,
-		tcp.ErrKeepalive: ErrTimeout,
+		tcp.ErrTimeout:   ErrConnTimeout,
+		tcp.ErrKeepalive: ErrConnTimeout,
 	}
 	for in, want := range cases {
 		if got := MapError(in); got != want {
 			t.Errorf("MapError(%v) = %v, want %v", in, got, want)
 		}
+	}
+	// ErrConnTimeout must remain matchable as the generic timeout.
+	if !errors.Is(ErrConnTimeout, ErrTimeout) {
+		t.Error("ErrConnTimeout does not wrap ErrTimeout")
 	}
 }
 

@@ -102,6 +102,10 @@ const (
 	maxPersistShift = 6
 	keepIdleDflt    = 120 // probe after 60 s idle (shortened from BSD's 2h for simulation)
 	keepMaxProbes   = 8
+
+	// defaultRexmtR1 is the default RFC 1122 R1 threshold ("at least 3
+	// retransmissions" before the advisory fires).
+	defaultRexmtR1 = 3
 )
 
 // Config parameterizes a connection. The zero value is completed with
@@ -129,6 +133,14 @@ type Config struct {
 	// KeepAliveTicks is the idle period before probing; 0 disables
 	// keepalives.
 	KeepAliveTicks int
+	// RexmtR1 and RexmtR2 are the RFC 1122 §4.2.3.5 retransmission
+	// thresholds, counted in consecutive retransmissions of the same data.
+	// Reaching R1 is advisory (Stats.R1Advisories; a full stack would ask
+	// IP to re-route); exceeding R2 abandons the connection with
+	// ErrTimeout. Zero selects the defaults (R1 = 3, R2 = 12). R2 is
+	// capped at 12 so give-up stays within the BSD backoff table, and R1
+	// is capped at R2.
+	RexmtR1, RexmtR2 int
 	// TimeWaitTicks overrides the 2*MSL wait (0 = standard 120 ticks).
 	TimeWaitTicks int
 }
@@ -148,6 +160,15 @@ func (c *Config) fill() {
 	}
 	if c.TimeWaitTicks == 0 {
 		c.TimeWaitTicks = 2 * mslTicks
+	}
+	if c.RexmtR2 <= 0 || c.RexmtR2 > maxRexmtShift {
+		c.RexmtR2 = maxRexmtShift
+	}
+	if c.RexmtR1 <= 0 {
+		c.RexmtR1 = defaultRexmtR1
+	}
+	if c.RexmtR1 > c.RexmtR2 {
+		c.RexmtR1 = c.RexmtR2
 	}
 }
 
@@ -180,6 +201,8 @@ type Stats struct {
 	DelayedAcks, AcksSent int
 	WindowProbes          int
 	KeepProbes            int
+	R1Advisories          int // retransmit runs that crossed the R1 threshold
+	RexmtGiveUps          int // connections abandoned after exceeding R2
 	BadChecksumOrTrim     int
 	TimerOps              int // set/clear operations, for cost charging
 	RTTSamples            int

@@ -81,5 +81,11 @@ func Restore(s Snapshot, cb Callbacks) *Conn {
 	if c.state == TimeWait {
 		c.setTimer(&c.t2MSL, c.cfg.TimeWaitTicks)
 	}
+	if c.state == Established && c.cfg.KeepAliveTicks > 0 {
+		// Restore bypasses setState, which normally arms the keepalive on
+		// entering Established; without this a handed-off connection would
+		// never detect a dead peer that goes silent right after transfer.
+		c.setTimer(&c.tKeep, c.cfg.KeepAliveTicks)
+	}
 	return c
 }

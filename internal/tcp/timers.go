@@ -197,13 +197,20 @@ func dec(t *int) bool {
 // backoff, congestion collapse to one segment (slow start), go-back-N.
 func (c *Conn) rexmtTimeout() {
 	c.rxtShift++
-	if c.rxtShift > maxRexmtShift {
+	if c.rxtShift > c.cfg.RexmtR2 {
+		c.stats.RexmtGiveUps++
 		c.closedErr = ErrTimeout
 		if c.state == SynSent || c.state == SynRcvd {
 			c.closedErr = ErrRefused
 		}
 		c.setState(Closed, TrigTimer)
 		return
+	}
+	if c.rxtShift == c.cfg.RexmtR1 {
+		// RFC 1122 R1: delivery looks degraded; a layered stack would hint
+		// IP to re-route here. We record it so applications (and the
+		// degradation experiment) can observe the threshold crossing.
+		c.stats.R1Advisories++
 	}
 	c.stats.Rexmits++
 	base := (c.srtt >> 3) + c.rttvar

@@ -33,6 +33,7 @@ const (
 	FrameDrop    // frame dropped; Text = reason (loss, addr-filter, ring-overflow, ...)
 	FrameDup     // fault injection duplicated the frame
 	FrameCorrupt // fault injection flipped a bit; A = corrupted byte offset
+	FrameReorder // fault injection delayed the frame so later frames overtake it; B = extra delay ns
 
 	// TCP engine events. Conn labels the connection.
 	TCPState    // state transition; Text = "OLD->NEW", A/B = old/new state ordinals, C = trigger class
@@ -74,6 +75,7 @@ var kindNames = [...]string{
 	FrameDrop:    "frame-drop",
 	FrameDup:     "frame-dup",
 	FrameCorrupt: "frame-corrupt",
+	FrameReorder: "frame-reorder",
 	TCPState:     "tcp-state",
 	TCPRexmit:    "tcp-rexmit",
 	TCPRTO:       "tcp-rto",

@@ -131,6 +131,7 @@ type Segment struct {
 	perPort  map[link.Addr]*sim.Resource
 	faults   Faults
 	rng      *rand.Rand
+	cond     *condState // link-condition layer (nil unless SetConditions)
 
 	// Learning-switch state (nil/unused unless built with NewSwitched).
 	sw      *SwitchConfig
@@ -151,6 +152,7 @@ type Segment struct {
 
 	// Stats
 	framesSent, framesDropped, framesCorrupted, framesDuplicated int
+	framesReordered                                              int
 	framesSwitched, framesFlooded                                int
 	bytesSent                                                    int64
 }
@@ -347,6 +349,11 @@ func (g *Segment) propagate(f *inflight) {
 			g.s.AfterArg(delay, deliverCB, d)
 		}
 		if g.rng.Float64() < g.faults.ReorderProb {
+			g.framesReordered++
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameReorder, Node: g.cfg.Name,
+					A: int64(b.Len()), B: int64(g.faults.ReorderDelay), Frame: b.Bytes()})
+			}
 			delay += g.faults.ReorderDelay
 		}
 	}
@@ -359,6 +366,23 @@ func (g *Segment) propagate(f *inflight) {
 		f.put()
 		b.Release()
 		return
+	}
+	if g.cond != nil {
+		// Conditions run last, on frames that survived the Faults layer,
+		// and draw only from their own RNG — see conditions.go for the
+		// composition and determinism contract.
+		kind, extra := g.cond.apply(g, f.src, f.dst, b.Len())
+		if kind != condKeep {
+			g.framesDropped++
+			if g.Bus.Enabled() {
+				g.Bus.Emit(trace.Event{Kind: trace.FrameDrop, Node: g.cfg.Name,
+					A: int64(b.Len()), Text: string(kind), Frame: b.Bytes()})
+			}
+			f.put()
+			b.Release()
+			return
+		}
+		delay += extra
 	}
 	if g.sw != nil {
 		// Switched fabric: the ingress hop ends at the switch, which
@@ -423,6 +447,7 @@ func (g *Segment) deliver(src, dst link.Addr, b *pkt.Buf) {
 }
 
 // Stats reports cumulative counters.
-func (g *Segment) Stats() (sent, dropped, corrupted, duplicated int, bytes int64) {
-	return g.framesSent, g.framesDropped, g.framesCorrupted, g.framesDuplicated, g.bytesSent
+func (g *Segment) Stats() (sent, dropped, corrupted, duplicated, reordered int, bytes int64) {
+	return g.framesSent, g.framesDropped, g.framesCorrupted, g.framesDuplicated,
+		g.framesReordered, g.bytesSent
 }

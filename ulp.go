@@ -128,6 +128,10 @@ type Config struct {
 	// registry control-plane faults, and scheduled application crashes.
 	// Chaos's wire faults apply only when Faults is nil.
 	Chaos *chaos.FaultPlan
+	// Conditions optionally installs a time-scripted link-condition plan
+	// (bursty loss, asymmetric paths, partitions, flaps, bufferbloat) on
+	// the segment, layered after Faults. Chaos.Partitions merge into it.
+	Conditions *wire.LinkConditions
 	// Costs overrides the calibrated cost model (ablations).
 	Costs *costs.Model
 
@@ -218,6 +222,37 @@ type App struct {
 	Lib *core.Library
 }
 
+// buildConditions merges the explicit link-condition plan with the chaos
+// plan's scripted partitions (host indices become station addresses). It
+// returns nil when nothing is active, so condition-free worlds keep a nil
+// conditions layer and stay bit-identical to older builds.
+func buildConditions(cfg Config) *wire.LinkConditions {
+	var lc *wire.LinkConditions
+	if cfg.Conditions != nil {
+		cp := *cfg.Conditions
+		lc = &cp
+	}
+	if cfg.Chaos != nil && len(cfg.Chaos.Partitions) > 0 {
+		if lc == nil {
+			lc = &wire.LinkConditions{Seed: cfg.Chaos.Seed}
+		}
+		for _, p := range cfg.Chaos.Partitions {
+			pw := wire.PartitionWindow{Window: wire.Window{From: p.At}}
+			if p.HealAfter > 0 {
+				pw.Until = p.At + p.HealAfter
+			}
+			for _, h := range p.Hosts {
+				pw.Hosts = append(pw.Hosts, link.MakeAddr(h+1))
+			}
+			lc.Partitions = append(lc.Partitions, pw)
+		}
+	}
+	if !lc.Active() {
+		return nil
+	}
+	return lc
+}
+
 // NewWorld builds a world.
 func NewWorld(cfg Config) *World {
 	if cfg.Hosts == 0 {
@@ -241,6 +276,9 @@ func NewWorld(cfg Config) *World {
 		seg.SetFaults(*cfg.Faults)
 	} else if cfg.Chaos != nil {
 		seg.SetFaults(cfg.Chaos.WireFaults())
+	}
+	if lc := buildConditions(cfg); lc != nil {
+		seg.SetConditions(lc)
 	}
 	model := costs.Default()
 	if cfg.Costs != nil {
@@ -379,11 +417,12 @@ func (w *World) EnableConformance() *conform.Checker {
 func (w *World) StatsRegistry() *stats.Registry {
 	r := stats.New()
 	r.RegisterFunc("wire", func(emit func(string, int64)) {
-		sent, dropped, corrupted, duplicated, bytes := w.Seg.Stats()
+		sent, dropped, corrupted, duplicated, reordered, bytes := w.Seg.Stats()
 		emit("frames_sent", int64(sent))
 		emit("frames_dropped", int64(dropped))
 		emit("frames_corrupted", int64(corrupted))
 		emit("frames_duplicated", int64(duplicated))
+		emit("frames_reordered", int64(reordered))
 		emit("bytes_sent", bytes)
 	})
 	for _, n := range w.nodes {
